@@ -1,0 +1,59 @@
+// Ablation (ref [7]): sampling estimators vs the exact counting pass.
+//
+// The decomposition algorithms need exact supports, but the total butterfly
+// count alone (workload sizing, BiT-PC threshold intuition) can be estimated
+// orders of magnitude faster on butterfly-dense graphs.  This harness
+// reports estimate quality and speed for the three samplers against the
+// exact BFC-VP pass on the representative stand-ins.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "butterfly/approx_counting.h"
+#include "butterfly/butterfly_counting.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace bitruss;
+  using namespace bitruss::bench;
+
+  PrintBanner("Ablation: sampling estimators",
+              "vertex/edge/wedge sampling vs exact BFC-VP counting");
+
+  const std::uint64_t kSamples = 20'000;
+
+  TablePrinter table({"Dataset", "exact onG", "exact (s)", "sampler",
+                      "estimate", "rel err %", "est (s)", "speedup"});
+  for (const char* name : {"Github", "Twitter", "D-label", "D-style"}) {
+    const BipartiteGraph& g = BenchDataset(name);
+
+    Timer timer;
+    const ButterflyCount exact = CountTotalButterflies(g);
+    const double exact_seconds = timer.Seconds();
+
+    for (const SamplingStrategy strategy :
+         {SamplingStrategy::kVertex, SamplingStrategy::kEdge,
+          SamplingStrategy::kWedge}) {
+      timer.Reset();
+      const ApproxCountResult approx =
+          EstimateButterflies(g, strategy, kSamples, /*seed=*/1);
+      const double est_seconds = timer.Seconds();
+      const double rel_err =
+          100.0 * std::abs(approx.estimate - static_cast<double>(exact)) /
+          static_cast<double>(exact);
+      table.AddRow({name, FormatCount(exact), FormatDouble(exact_seconds, 3),
+                    SamplingStrategyName(strategy),
+                    FormatDouble(approx.estimate, 0),
+                    FormatDouble(rel_err, 1), FormatDouble(est_seconds, 3),
+                    FormatDouble(exact_seconds / est_seconds, 1) + "x"});
+      std::fflush(stdout);
+    }
+  }
+  table.Print();
+  std::printf("\n(%llu samples per run; wedge sampling concentrates best on "
+              "skewed graphs because its per-sample work is one adjacency "
+              "intersection regardless of hub degrees.)\n",
+              static_cast<unsigned long long>(kSamples));
+  return 0;
+}

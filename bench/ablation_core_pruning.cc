@@ -1,0 +1,57 @@
+// Ablation: (2,2)-core pre-pruning for bitruss decomposition.
+//
+// Every k-bitruss with k >= 1 lies inside the (2,2)-core (each of its edges
+// is in a butterfly, so each of its vertices has internal degree >= 2).
+// Pruning to the core before counting + index construction is therefore
+// exact, and on sparse-fringe graphs it removes pendant edges before they
+// cost anything.  This bench quantifies the saving per dataset and verifies
+// (via checksum of phi) that the pruned run matches the plain one.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.h"
+#include "cohesion/ab_core.h"
+#include "core/decompose.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace bitruss;
+  using namespace bitruss::bench;
+
+  PrintBanner("Ablation: (2,2)-core pre-pruning",
+              "plain BiT-BU++ vs core-pruned BiT-BU++ (exact, ref [20])");
+
+  TablePrinter table({"Dataset", "|E|", "pruned", "pruned %", "plain (s)",
+                      "pruned (s)", "speedup", "phi match"});
+  for (const char* name : {"Condmat", "DBPedia", "Github", "Twitter",
+                           "D-label", "D-style", "Amazon", "DBLP"}) {
+    const BipartiteGraph& g = BenchDataset(name);
+
+    Timer timer;
+    const BitrussResult plain = Decompose(g);
+    const double plain_seconds = timer.Seconds();
+
+    timer.Reset();
+    const BitrussResult pruned = DecomposeWithCorePruning(g);
+    const double pruned_seconds = timer.Seconds();
+
+    // Prune tally only (outside the timed region; the timed run re-prunes
+    // internally, so its cost is already included above).
+    auto core_stats = PruneToABCore(g, 2, 2);
+
+    const EdgeId pruned_edges =
+        core_stats.ok() ? core_stats.value().pruned_edges : 0;
+    const bool match = plain.phi == pruned.phi;
+
+    table.AddRow({name, FormatCount(g.NumEdges()), FormatCount(pruned_edges),
+                  FormatDouble(100.0 * pruned_edges / g.NumEdges(), 1),
+                  FormatDouble(plain_seconds, 3),
+                  FormatDouble(pruned_seconds, 3),
+                  FormatDouble(plain_seconds / pruned_seconds, 2),
+                  match ? "yes" : "NO"});
+    std::fflush(stdout);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation (Introduction, paragraph 1): why not project the bipartite graph
+// to one layer and run k-truss?  Because skewed degree distributions explode
+// the projected edge and triangle counts (the ref [25] approach the paper
+// dismisses).  This harness measures the explosion on the stand-ins.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/projection.h"
+
+int main() {
+  using namespace bitruss;
+  using namespace bitruss::bench;
+
+  PrintBanner("Ablation: projection",
+              "bipartite vs one-layer projection (edge/triangle explosion)");
+
+  // Cap the projection so hub datasets terminate; hitting the cap is
+  // itself the result.
+  const std::uint64_t cap = 30'000'000;
+
+  TablePrinter table({"Dataset", "bip edges", "butterflies", "proj edges",
+                      "proj triangles", "edge blow-up"});
+  for (const char* name : {"Condmat", "Github", "Twitter", "D-label",
+                           "D-style"}) {
+    const BipartiteGraph& g = BenchDataset(name);
+    // Project onto the layer the paper's applications care about (upper =
+    // users/authors); for D-style the tiny lower layer makes the upper
+    // projection the catastrophic one.
+    const ProjectionStats stats =
+        CompareProjection(g, /*upper_layer=*/true, cap);
+    const double blowup =
+        static_cast<double>(stats.projected_edges) /
+        static_cast<double>(stats.bipartite_edges);
+    table.AddRow({name, FormatCount(stats.bipartite_edges),
+                  FormatCount(stats.butterflies),
+                  (stats.truncated ? ">" : "") +
+                      FormatCount(stats.projected_edges),
+                  (stats.truncated ? ">" : "") + FormatCount(stats.triangles),
+                  (stats.truncated ? ">" : "") + FormatDouble(blowup, 1) + "x"});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("\n(The paper's argument: the projection loses the bipartite "
+              "structure AND inflates the instance; decomposing butterflies "
+              "directly avoids both.)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation (Related Work, ref [25]): the complete projection alternative.
+//
+// ablation_projection measures only the instance blow-up; this harness runs
+// the *entire* ref [25] pipeline — project onto one layer, index, count
+// triangle supports, truss-peel — and compares its end-to-end cost against
+// decomposing butterflies directly with BiT-BU++.  On skewed stand-ins the
+// projection is capped (hitting the cap is the reproduced result: the paper
+// dismisses this route for exactly that explosion); on the ones that do
+// finish, the pipeline is still slower and its output lives on projected
+// edges, not bipartite edges.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/decompose.h"
+#include "truss/projected_truss.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace bitruss;
+  using namespace bitruss::bench;
+
+  PrintBanner("Ablation: ref [25] pipeline",
+              "project + k-truss decomposition vs direct BiT-BU++");
+
+  const std::uint64_t cap = 300'000;
+
+  TablePrinter table({"Dataset", "bip |E|", "direct (s)", "proj |E|",
+                      "project (s)", "tri count (s)", "truss peel (s)",
+                      "pipeline (s)", "slowdown"});
+  for (const char* name :
+       {"Condmat", "Marvel", "DBPedia", "Github", "Twitter"}) {
+    const BipartiteGraph& g = BenchDataset(name);
+
+    Timer timer;
+    (void)Decompose(g);
+    const double direct_seconds = timer.Seconds();
+
+    const Ref25PipelineResult pipeline =
+        RunRef25Pipeline(g, /*upper_layer=*/true, cap);
+    const double pipeline_seconds = pipeline.project_seconds +
+                                    pipeline.count_seconds +
+                                    pipeline.peel_seconds;
+
+    const std::string prefix = pipeline.truncated ? ">" : "";
+    table.AddRow(
+        {name, FormatCount(g.NumEdges()), FormatDouble(direct_seconds, 3),
+         prefix + FormatCount(pipeline.projected_edges),
+         FormatDouble(pipeline.project_seconds, 3),
+         FormatDouble(pipeline.count_seconds, 3),
+         FormatDouble(pipeline.peel_seconds, 3),
+         prefix + FormatDouble(pipeline_seconds, 3),
+         prefix + FormatDouble(pipeline_seconds / direct_seconds, 1) + "x"});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\n(Truncated rows hit the %llu-edge projection cap — deliberately\n"
+      "small: truncated skewed projections are near-cliques, and truss\n"
+      "peeling them is quadratic in the cap.  The full projection would be\n"
+      "orders of magnitude larger still, which is the explosion the paper's\n"
+      "introduction predicts.  Even untruncated pipelines answer a different\n"
+      "question: truss numbers of projected edges cannot be mapped back to\n"
+      "bitruss numbers of bipartite edges.)\n",
+      static_cast<unsigned long long>(cap));
+  return 0;
+}

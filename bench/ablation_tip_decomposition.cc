@@ -1,0 +1,55 @@
+// Ablation (ref [5]): tip (vertex) vs bitruss (edge) peeling granularity.
+//
+// The paper's baseline reference defines both hierarchies; the paper builds
+// on the edge one because it is finer.  This harness quantifies the
+// trade-off on the stand-ins: tip decomposition performs one update per
+// co-vertex pair instead of per affected edge — typically orders of
+// magnitude fewer — but collapses each vertex's communities into a single
+// number (one theta per user, versus one phi per interaction).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cohesion/tip_decomposition.h"
+#include "core/decompose.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace bitruss;
+  using namespace bitruss::bench;
+
+  PrintBanner("Ablation: tip vs bitruss peeling",
+              "ref [5]'s vertex hierarchy vs the paper's edge hierarchy");
+
+  TablePrinter table({"Dataset", "bitruss (s)", "phi updates", "tip U (s)",
+                      "tip updates", "max theta", "max phi"});
+  for (const char* name : {"Github", "Twitter", "D-label", "D-style"}) {
+    const BipartiteGraph& g = BenchDataset(name);
+
+    Timer timer;
+    const BitrussResult edge_result = Decompose(g);
+    const double edge_seconds = timer.Seconds();
+
+    timer.Reset();
+    const TipResult tip_result = TipDecomposition(g, /*peel_upper=*/true);
+    const double tip_seconds = timer.Seconds();
+
+    table.AddRow(
+        {name, FormatDouble(edge_seconds, 3),
+         FormatCount(edge_result.counters.support_updates),
+         FormatDouble(tip_seconds, 3),
+         FormatCount(tip_result.count_updates),
+         FormatCount(tip_result.max_tip),
+         FormatCount(edge_result.MaxPhi())});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\n(On typical graphs the vertex hierarchy is cheaper but coarser —\n"
+      "one theta per user versus one phi per interaction, the reason the\n"
+      "paper decomposes edges.  On hub-layer graphs like D-style the\n"
+      "comparison inverts: every vertex removal walks two hops through\n"
+      "enormous-degree middles, the same structural pathology BiT-PC\n"
+      "exists to sidestep on the edge side.)\n");
+  return 0;
+}

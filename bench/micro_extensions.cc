@@ -1,0 +1,119 @@
+// Google-benchmark micro suite: primitives of the extension modules —
+// sampling estimators, dynamic updates, (alpha,beta)-core peeling, truss
+// supports, tip peeling, community queries and result verification.
+
+#include <benchmark/benchmark.h>
+
+#include "butterfly/approx_counting.h"
+#include "cohesion/ab_core.h"
+#include "cohesion/tip_decomposition.h"
+#include "core/community_search.h"
+#include "core/decompose.h"
+#include "core/verify.h"
+#include "dynamic/dynamic_graph.h"
+#include "gen/chung_lu.h"
+#include "graph/projection.h"
+#include "truss/truss_decomposition.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace bitruss;
+
+BipartiteGraph SkewedGraph(EdgeId m, double exponent = 0.8) {
+  ChungLuParams p;
+  p.num_upper = m / 6;
+  p.num_lower = m / 6;
+  p.num_edges = m;
+  p.upper_exponent = exponent;
+  p.lower_exponent = exponent;
+  p.seed = 12345;
+  return GenerateChungLu(p);
+}
+
+void BM_WedgeSamplingEstimate(benchmark::State& state) {
+  const BipartiteGraph g = SkewedGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateButterflies(
+        g, SamplingStrategy::kWedge, static_cast<std::uint64_t>(
+            state.range(1)), 7));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_WedgeSamplingEstimate)
+    ->Args({50000, 1000})
+    ->Args({50000, 10000});
+
+void BM_DynamicInsertDelete(benchmark::State& state) {
+  const BipartiteGraph g = SkewedGraph(state.range(0));
+  DynamicBipartiteGraph dynamic(g);
+  Rng rng(99);
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.Below(g.NumUpper()));
+    const auto v = static_cast<VertexId>(rng.Below(g.NumLower()));
+    auto inserted = dynamic.InsertEdge(u, v);
+    if (inserted.ok()) {
+      benchmark::DoNotOptimize(dynamic.DeleteEdge(inserted.value()));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicInsertDelete)->Arg(20000)->Arg(80000);
+
+void BM_ABCoreExtraction(benchmark::State& state) {
+  const BipartiteGraph g = SkewedGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeABCore(g, 2, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_ABCoreExtraction)->Arg(50000)->Arg(150000);
+
+void BM_TriangleSupports(benchmark::State& state) {
+  const BipartiteGraph g = SkewedGraph(state.range(0));
+  const UnipartiteGraph projected =
+      ProjectOntoLayer(g, /*upper_layer=*/true, /*max_edges=*/200000);
+  const TriangleGraph indexed(projected);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangleSupports(indexed));
+  }
+  state.SetItemsProcessed(state.iterations() * indexed.NumEdges());
+}
+BENCHMARK(BM_TriangleSupports)->Arg(20000);
+
+void BM_TipDecomposition(benchmark::State& state) {
+  const BipartiteGraph g = SkewedGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TipDecomposition(g, /*peel_upper=*/true));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumUpper());
+}
+BENCHMARK(BM_TipDecomposition)->Arg(20000)->Arg(50000);
+
+void BM_CommunityQuery(benchmark::State& state) {
+  const BipartiteGraph g = SkewedGraph(state.range(0));
+  const BitrussResult result = Decompose(g);
+  // Query the strongest community of every edge in round-robin.
+  EdgeId e = 0;
+  for (auto _ : state) {
+    while (result.phi[e] == 0) e = (e + 1) % g.NumEdges();
+    benchmark::DoNotOptimize(MaximalCommunityOfEdge(g, result.phi, e));
+    e = (e + 1) % g.NumEdges();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CommunityQuery)->Arg(20000);
+
+void BM_VerifyDecomposition(benchmark::State& state) {
+  const BipartiteGraph g = SkewedGraph(state.range(0));
+  const BitrussResult result = Decompose(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VerifyBitrussNumbers(g, result.phi));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_VerifyDecomposition)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();
