@@ -31,11 +31,10 @@ double BenchTimeoutSeconds() {
 }
 
 const BipartiteGraph& BenchDataset(const std::string& name) {
-  static std::map<std::string, BipartiteGraph>* cache =
-      new std::map<std::string, BipartiteGraph>();
-  auto it = cache->find(name);
-  if (it == cache->end()) {
-    it = cache->emplace(name, MakeDataset(name, BenchScale())).first;
+  static std::map<std::string, BipartiteGraph> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, MakeDataset(name, BenchScale())).first;
   }
   return it->second;
 }

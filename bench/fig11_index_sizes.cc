@@ -22,10 +22,14 @@ int main() {
     const RunOutcome bupp = TimedRun(g, Algorithm::kBUPlusPlus);
     const RunOutcome pc = TimedRun(g, Algorithm::kPC, /*tau=*/0.02);
     const auto mib = [](const RunOutcome& r) {
+      // A timed-out run has not built all its per-round indexes, so its
+      // peak would understate the real footprint.
+      if (r.timed_out) return std::string("INF");
       return FormatDouble(BytesToMiB(r.result.counters.peak_index_bytes), 2);
     };
     std::string ratio = "-";
-    if (bu.result.counters.peak_index_bytes > 0) {
+    if (!bu.timed_out && !pc.timed_out &&
+        bu.result.counters.peak_index_bytes > 0) {
       ratio = FormatDouble(
           static_cast<double>(pc.result.counters.peak_index_bytes) /
               static_cast<double>(bu.result.counters.peak_index_bytes),

@@ -22,6 +22,11 @@ int main() {
   const RunOutcome bu = TimedRun(g, Algorithm::kBU, 0.02, true);
   const RunOutcome bupp = TimedRun(g, Algorithm::kBUPlusPlus, 0.02, true);
   const RunOutcome pc = TimedRun(g, Algorithm::kPC, 0.02, true);
+  if (bu.timed_out || bupp.timed_out || pc.timed_out) {
+    // Partial update counts would misrepresent the distribution.
+    std::printf("timed out; raise BITRUSS_BENCH_TIMEOUT.\n");
+    return 0;
+  }
 
   // Scale the paper's absolute bins (<=5000 ... >20000 on real D-style) to
   // the stand-in.  Supports are power-law distributed, so geometric bin

@@ -1,0 +1,49 @@
+#include "butterfly/butterfly_counting.h"
+
+#include "butterfly/wedge_enumeration.h"
+
+namespace bitruss {
+
+namespace {
+constexpr auto kNoopAnchorDone = [](const std::vector<VertexId>&) {};
+}  // namespace
+
+std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
+                                        const PriorityAdjacency& adj) {
+  std::vector<SupportT> sup(g.NumEdges(), 0);
+  internal::ForEachBloom<true>(
+      adj, [](VertexId, SupportT) {},
+      [&](VertexId, SupportT c, EdgeId anchor_edge, EdgeId far_edge) {
+        sup[anchor_edge] += c - 1;
+        sup[far_edge] += c - 1;
+      },
+      kNoopAnchorDone);
+  return sup;
+}
+
+std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g) {
+  const VertexPriority priority = VertexPriority::Compute(g);
+  const PriorityAdjacency adj(g, priority);
+  return CountEdgeSupports(g, adj);
+}
+
+std::uint64_t CountTotalButterflies(const BipartiteGraph& g,
+                                    const PriorityAdjacency& adj) {
+  (void)g;
+  std::uint64_t total = 0;
+  internal::ForEachBloom<false>(
+      adj,
+      [&](VertexId, SupportT c) {
+        total += static_cast<std::uint64_t>(c) * (c - 1) / 2;
+      },
+      [](VertexId, SupportT, EdgeId, EdgeId) {}, kNoopAnchorDone);
+  return total;
+}
+
+std::uint64_t CountTotalButterflies(const BipartiteGraph& g) {
+  const VertexPriority priority = VertexPriority::Compute(g);
+  const PriorityAdjacency adj(g, priority);
+  return CountTotalButterflies(g, adj);
+}
+
+}  // namespace bitruss

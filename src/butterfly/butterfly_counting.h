@@ -1,0 +1,38 @@
+// Exact butterfly counting (BFC-VP style, Wang et al. VLDB'19 / ICDE'20
+// Section IV-A).
+//
+// A butterfly is a (2,2)-biclique {u, w, x, y}.  Enumeration anchors every
+// wedge u-v-w at its unique highest-priority vertex: for each anchor u, for
+// each neighbor v with p(v) < p(u), for each w in N(v) with p(w) < p(u),
+// the wedge (u, v, w) is charged to the pair (u, w).  A pair with c wedges
+// contributes C(c, 2) butterflies, each counted exactly once globally (the
+// anchor is the butterfly's top-priority vertex), and each wedge edge gains
+// support c - 1 from the pair.  Total work is
+// O(sum_{(u,v) in E} min{d(u), d(v)}) under the degree priority.
+
+#ifndef BITRUSS_BUTTERFLY_BUTTERFLY_COUNTING_H_
+#define BITRUSS_BUTTERFLY_BUTTERFLY_COUNTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/vertex_priority.h"
+
+namespace bitruss {
+
+/// Per-edge butterfly support sup(e) for every edge of g.
+std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
+                                        const PriorityAdjacency& adj);
+
+/// Convenience overload computing the default (degree, id) priority.
+std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g);
+
+/// Total number of butterflies in g.
+std::uint64_t CountTotalButterflies(const BipartiteGraph& g,
+                                    const PriorityAdjacency& adj);
+std::uint64_t CountTotalButterflies(const BipartiteGraph& g);
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_BUTTERFLY_BUTTERFLY_COUNTING_H_

@@ -1,0 +1,45 @@
+// Histogram of quantities keyed by butterfly support (Figure 7).
+
+#ifndef BITRUSS_BUTTERFLY_SUPPORT_HISTOGRAM_H_
+#define BITRUSS_BUTTERFLY_SUPPORT_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace bitruss {
+
+/// Bins: [0, b0], (b0, b1], ..., (b_{k-1}, inf) for ascending upper bounds
+/// b0 < b1 < ... < b_{k-1}; NumBins() == bounds.size() + 1.
+class SupportHistogram {
+ public:
+  explicit SupportHistogram(std::vector<SupportT> upper_bounds)
+      : bounds_(std::move(upper_bounds)), totals_(bounds_.size() + 1, 0) {}
+
+  void Add(SupportT support, std::uint64_t amount) {
+    std::size_t bin = 0;
+    while (bin < bounds_.size() && support > bounds_[bin]) ++bin;
+    totals_[bin] += amount;
+  }
+
+  std::size_t NumBins() const { return totals_.size(); }
+
+  std::uint64_t BinTotal(std::size_t bin) const { return totals_[bin]; }
+
+  std::string BinLabel(std::size_t bin) const {
+    if (bin == 0) return "<=" + std::to_string(bounds_.empty() ? 0 : bounds_[0]);
+    if (bin == bounds_.size()) return ">" + std::to_string(bounds_.back());
+    return std::to_string(bounds_[bin - 1] + 1) + "-" +
+           std::to_string(bounds_[bin]);
+  }
+
+ private:
+  std::vector<SupportT> bounds_;
+  std::vector<std::uint64_t> totals_;
+};
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_BUTTERFLY_SUPPORT_HISTOGRAM_H_

@@ -1,0 +1,77 @@
+// Internal: the priority-anchored wedge enumeration shared by butterfly
+// counting and BE-Index construction.  One implementation keeps the two in
+// lockstep — the Lemma 4 identity (index supports == counted supports)
+// holds by construction, not by parallel maintenance.
+//
+// AdjT is any rank-indexed adjacency: NumVertices(), Neighbors(r) -> range
+// of PriorityAdjacency::Entry sorted by ascending rank, and
+// FirstBelowPriority(r, bound) -> first entry with rank > bound.
+// PriorityAdjacency itself satisfies this; be_index_builder.cc adds a
+// filtered variant for BiT-PC candidate subgraphs.
+
+#ifndef BITRUSS_BUTTERFLY_WEDGE_ENUMERATION_H_
+#define BITRUSS_BUTTERFLY_WEDGE_ENUMERATION_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/types.h"
+#include "graph/vertex_priority.h"
+
+namespace bitruss::internal {
+
+/// partition_point helper for rank-sorted adjacency slices.
+inline const PriorityAdjacency::Entry* FirstRankAbove(
+    const PriorityAdjacency::Range& range, VertexId bound) {
+  return std::partition_point(
+      range.begin(), range.end(),
+      [bound](const PriorityAdjacency::Entry& e) { return e.rank <= bound; });
+}
+
+// Per anchor u: pass 1 counts wedges u-v-w per endpoint w (all of v, w at
+// strictly lower priority than u); then `on_pair(w_rank, c)` fires once per
+// endpoint with c >= 2 wedges; with kNeedWedges, `on_wedge(w_rank, c,
+// edge(u,v), edge(v,w))` fires once per wedge of such a pair; finally
+// `on_anchor_done(touched)` fires before the scratch resets.
+template <bool kNeedWedges, typename AdjT, typename PairFn, typename WedgeFn,
+          typename AnchorDoneFn>
+void ForEachBloom(const AdjT& a, PairFn&& on_pair, WedgeFn&& on_wedge,
+                  AnchorDoneFn&& on_anchor_done) {
+  const VertexId n = a.NumVertices();
+  std::vector<SupportT> count(n, 0);
+  std::vector<VertexId> touched;
+  touched.reserve(1024);
+
+  for (VertexId ur = 0; ur < n; ++ur) {
+    const auto nu = a.Neighbors(ur);
+    const auto* vfirst = a.FirstBelowPriority(ur, ur);
+    for (const auto* v = vfirst; v != nu.end(); ++v) {
+      const auto* wfirst = a.FirstBelowPriority(v->rank, ur);
+      const auto wlast = a.Neighbors(v->rank).end();
+      for (const auto* w = wfirst; w != wlast; ++w) {
+        if (count[w->rank]++ == 0) touched.push_back(w->rank);
+      }
+    }
+    for (const VertexId wr : touched) {
+      if (count[wr] >= 2) on_pair(wr, count[wr]);
+    }
+    if constexpr (kNeedWedges) {
+      for (const auto* v = vfirst; v != nu.end(); ++v) {
+        const auto* wfirst = a.FirstBelowPriority(v->rank, ur);
+        const auto wlast = a.Neighbors(v->rank).end();
+        for (const auto* w = wfirst; w != wlast; ++w) {
+          if (count[w->rank] >= 2) {
+            on_wedge(w->rank, count[w->rank], v->edge, w->edge);
+          }
+        }
+      }
+    }
+    on_anchor_done(touched);
+    for (const VertexId wr : touched) count[wr] = 0;
+    touched.clear();
+  }
+}
+
+}  // namespace bitruss::internal
+
+#endif  // BITRUSS_BUTTERFLY_WEDGE_ENUMERATION_H_

@@ -1,0 +1,210 @@
+#include "core/be_index_builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "butterfly/wedge_enumeration.h"
+
+namespace bitruss {
+
+void BEIndex::KillWedge(WedgeId w) {
+  const BloomId b = wedge_bloom[w];
+  const std::uint64_t slot = wedge_slot[w];
+  const std::uint64_t last = bloom_offsets[b] + bloom_live[b] - 1;
+  const WedgeId moved = bloom_slots[last];
+  bloom_slots[slot] = moved;
+  wedge_slot[moved] = static_cast<std::uint32_t>(slot);
+  bloom_slots[last] = w;
+  wedge_slot[w] = static_cast<std::uint32_t>(last);
+  --bloom_live[b];
+  wedge_alive[w] = 0;
+}
+
+std::uint32_t BEIndex::EdgeLiveCount(EdgeId e) const {
+  std::uint32_t live = 0;
+  for (std::uint64_t i = edge_offsets[e]; i < edge_offsets[e + 1]; ++i) {
+    live += wedge_alive[edge_wedges[i]];
+  }
+  return live;
+}
+
+std::vector<SupportT> BEIndex::ComputeSupports() const {
+  std::vector<SupportT> sup(num_edges, 0);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    SupportT s = 0;
+    for (std::uint64_t i = edge_offsets[e]; i < edge_offsets[e + 1]; ++i) {
+      const WedgeId w = edge_wedges[i];
+      if (wedge_alive[w]) s += BloomK(wedge_bloom[w]) - 1;
+    }
+    sup[e] = s;
+  }
+  return sup;
+}
+
+std::uint64_t BEIndex::MemoryBytes() const {
+  return wedge_e1.size() * sizeof(EdgeId) + wedge_e2.size() * sizeof(EdgeId) +
+         wedge_bloom.size() * sizeof(BloomId) +
+         wedge_alive.size() * sizeof(std::uint8_t) +
+         wedge_slot.size() * sizeof(std::uint32_t) +
+         edge_offsets.size() * sizeof(std::uint64_t) +
+         edge_wedges.size() * sizeof(WedgeId) +
+         bloom_offsets.size() * sizeof(std::uint64_t) +
+         bloom_slots.size() * sizeof(WedgeId) +
+         bloom_live.size() * sizeof(SupportT) +
+         bloom_base.size() * sizeof(SupportT);
+}
+
+namespace {
+
+using Entry = PriorityAdjacency::Entry;
+
+// Adjacency restricted to included edges (BiT-PC candidate subgraphs).
+struct FilteredAdj {
+  std::vector<std::uint64_t> offsets;
+  std::vector<Entry> entries;
+
+  FilteredAdj(const PriorityAdjacency& adj,
+              const std::vector<std::uint8_t>& included) {
+    const VertexId n = adj.NumVertices();
+    offsets.assign(n + 1, 0);
+    for (VertexId r = 0; r < n; ++r) {
+      std::uint64_t kept = 0;
+      for (const Entry& entry : adj.Neighbors(r)) kept += included[entry.edge];
+      offsets[r + 1] = offsets[r] + kept;
+    }
+    entries.resize(offsets[n]);
+    std::uint64_t out = 0;
+    for (VertexId r = 0; r < n; ++r) {
+      for (const Entry& entry : adj.Neighbors(r)) {
+        if (included[entry.edge]) entries[out++] = entry;
+      }
+    }
+  }
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets.size() - 1);
+  }
+  PriorityAdjacency::Range Neighbors(VertexId r) const {
+    return {entries.data() + offsets[r], entries.data() + offsets[r + 1]};
+  }
+  const Entry* FirstBelowPriority(VertexId r, VertexId bound) const {
+    return internal::FirstRankAbove(Neighbors(r), bound);
+  }
+};
+
+template <typename AdjT>
+BEIndex BuildImpl(EdgeId num_edges, const AdjT& a,
+                  const std::vector<std::uint8_t>& assigned) {
+  BEIndex index;
+  index.num_edges = num_edges;
+  const VertexId n = a.NumVertices();
+
+  // Per-endpoint scratch, valid for one anchor iteration.
+  constexpr BloomId kNoBloom = static_cast<BloomId>(-1);
+  std::vector<BloomId> pair_bloom(n, kNoBloom);
+  std::vector<SupportT> pair_base(n, 0);
+
+  std::vector<SupportT> bloom_count;  // stored wedges per bloom
+
+  const bool has_assigned = !assigned.empty();
+  internal::ForEachBloom<true>(
+      a, [](VertexId, SupportT) {},
+      [&](VertexId wr, SupportT, EdgeId e1, EdgeId e2) {
+        if (has_assigned && assigned[e1] && assigned[e2]) {
+          // Both bitruss numbers known: fold into the bloom base count.
+          ++pair_base[wr];
+          return;
+        }
+        BloomId b = pair_bloom[wr];
+        if (b == kNoBloom) {
+          b = static_cast<BloomId>(bloom_count.size());
+          pair_bloom[wr] = b;
+          bloom_count.push_back(0);
+          index.bloom_base.push_back(0);
+        }
+        ++bloom_count[b];
+        index.wedge_e1.push_back(e1);
+        index.wedge_e2.push_back(e2);
+        index.wedge_bloom.push_back(b);
+      },
+      [&](const std::vector<VertexId>& touched) {
+        for (const VertexId wr : touched) {
+          if (pair_bloom[wr] != kNoBloom) {
+            index.bloom_base[pair_bloom[wr]] = pair_base[wr];
+          }
+          pair_base[wr] = 0;
+          pair_bloom[wr] = kNoBloom;
+        }
+      });
+
+  const std::uint64_t num_wedges = index.wedge_e1.size();
+  if (num_wedges > UINT32_MAX) {
+    // Wedge count is bounded by sum min{d(u), d(v)}, which can exceed the
+    // 2^32 edge-id cap on hub-heavy graphs; fail loudly, never truncate.
+    throw std::length_error("BEIndex: wedge count exceeds 32-bit id space");
+  }
+  const BloomId num_blooms = static_cast<BloomId>(bloom_count.size());
+  index.wedge_alive.assign(num_wedges, 1);
+  index.bloom_live.assign(bloom_count.begin(), bloom_count.end());
+
+  // Bloom slot segments.
+  index.bloom_offsets.assign(num_blooms + 1, 0);
+  for (BloomId b = 0; b < num_blooms; ++b) {
+    index.bloom_offsets[b + 1] = index.bloom_offsets[b] + bloom_count[b];
+  }
+  index.bloom_slots.resize(num_wedges);
+  index.wedge_slot.resize(num_wedges);
+  {
+    std::vector<std::uint64_t> cursor(index.bloom_offsets.begin(),
+                                      index.bloom_offsets.end() - 1);
+    for (std::uint64_t w = 0; w < num_wedges; ++w) {
+      const std::uint64_t slot = cursor[index.wedge_bloom[w]]++;
+      index.bloom_slots[slot] = static_cast<WedgeId>(w);
+      index.wedge_slot[w] = static_cast<std::uint32_t>(slot);
+    }
+  }
+
+  // Static per-edge CSR.
+  index.edge_offsets.assign(num_edges + 1, 0);
+  for (std::uint64_t w = 0; w < num_wedges; ++w) {
+    ++index.edge_offsets[index.wedge_e1[w] + 1];
+    ++index.edge_offsets[index.wedge_e2[w] + 1];
+  }
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    index.edge_offsets[e + 1] += index.edge_offsets[e];
+  }
+  index.edge_wedges.resize(2 * num_wedges);
+  {
+    std::vector<std::uint64_t> cursor(index.edge_offsets.begin(),
+                                      index.edge_offsets.end() - 1);
+    for (std::uint64_t w = 0; w < num_wedges; ++w) {
+      index.edge_wedges[cursor[index.wedge_e1[w]]++] = static_cast<WedgeId>(w);
+      index.edge_wedges[cursor[index.wedge_e2[w]]++] = static_cast<WedgeId>(w);
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+BEIndex BEIndexBuilder::Build(const BipartiteGraph& g,
+                              const PriorityAdjacency& adj) {
+  return BuildImpl(g.NumEdges(), adj, {});
+}
+
+BEIndex BEIndexBuilder::BuildCompressed(
+    const BipartiteGraph& g, const PriorityAdjacency& adj,
+    const std::vector<std::uint8_t>& assigned) {
+  return BuildImpl(g.NumEdges(), adj, assigned);
+}
+
+BEIndex BEIndexBuilder::BuildCompressed(
+    const BipartiteGraph& g, const PriorityAdjacency& adj,
+    const std::vector<std::uint8_t>& assigned,
+    const std::vector<std::uint8_t>& included) {
+  if (included.empty()) return BuildImpl(g.NumEdges(), adj, assigned);
+  const FilteredAdj filtered(adj, included);
+  return BuildImpl(g.NumEdges(), filtered, assigned);
+}
+
+}  // namespace bitruss

@@ -1,0 +1,100 @@
+// The Bloom-Edge Index (BE-Index, Section IV of Wang et al., ICDE'20).
+//
+// A bloom is a priority-anchored (2, k)-biclique: the set of wedges charged
+// to one (anchor, endpoint) vertex pair by the BFC-VP enumeration.  Every
+// butterfly consists of exactly two wedges of exactly one bloom, so with
+// k(B) = number of wedges alive in bloom B:
+//
+//   sup(e) = sum over blooms B containing e of (k(B) - 1)        (Lemma 4)
+//
+// and removing an edge e updates, per bloom containing e, the twin edge in
+// bulk (-= k(B)-1) and every other wedge edge by 1 — O(sup(e)) total work
+// (Lemma 5).  The index stores wedges once, a static per-edge CSR of wedge
+// ids, and per-bloom slot arrays with a live prefix so wedge removal is
+// O(1) swap-remove.
+//
+// BuildCompressed implements BiT-PC's compressed index: edges outside the
+// candidate subgraph are excluded entirely, and wedges whose two edges both
+// already have their bitruss number assigned are folded into a per-bloom
+// base count (they still contribute to k(B) but are never stored, visited,
+// or updated).
+
+#ifndef BITRUSS_CORE_BE_INDEX_BUILDER_H_
+#define BITRUSS_CORE_BE_INDEX_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/vertex_priority.h"
+
+namespace bitruss {
+
+struct BEIndex {
+  EdgeId num_edges = 0;
+
+  // Wedge store (parallel arrays).
+  std::vector<EdgeId> wedge_e1;       ///< anchor-side edge (anchor, mid)
+  std::vector<EdgeId> wedge_e2;       ///< far-side edge (mid, endpoint)
+  std::vector<BloomId> wedge_bloom;
+  std::vector<std::uint8_t> wedge_alive;
+  std::vector<std::uint32_t> wedge_slot;  ///< position within the bloom slots
+
+  // Static per-edge CSR of wedge ids (never mutated during peeling).
+  std::vector<std::uint64_t> edge_offsets;  ///< size num_edges + 1
+  std::vector<WedgeId> edge_wedges;
+
+  // Per-bloom wedge slots; [bloom_offsets[b], bloom_offsets[b]+bloom_live[b])
+  // is the live prefix, maintained by swap-remove.
+  std::vector<std::uint64_t> bloom_offsets;  ///< size NumBlooms() + 1
+  std::vector<WedgeId> bloom_slots;
+  std::vector<SupportT> bloom_live;
+  std::vector<SupportT> bloom_base;  ///< compressed (both-assigned) wedges
+
+  BloomId NumBlooms() const {
+    return static_cast<BloomId>(bloom_live.size());
+  }
+
+  /// Current k(B): live stored wedges plus the compressed base.
+  SupportT BloomK(BloomId b) const { return bloom_base[b] + bloom_live[b]; }
+
+  EdgeId Twin(WedgeId w, EdgeId e) const {
+    return wedge_e1[w] == e ? wedge_e2[w] : wedge_e1[w];
+  }
+
+  /// Removes wedge w from its bloom's live prefix (O(1)) and marks it dead.
+  void KillWedge(WedgeId w);
+
+  /// Number of live wedges containing edge e.
+  std::uint32_t EdgeLiveCount(EdgeId e) const;
+
+  /// sup(e) = sum of (k(B) - 1) over live wedges of e (Lemma 4).  Edges
+  /// without wedges (or excluded from a compressed index) read 0.
+  std::vector<SupportT> ComputeSupports() const;
+
+  std::uint64_t MemoryBytes() const;
+};
+
+class BEIndexBuilder {
+ public:
+  /// Full BE-Index over every edge of g.
+  static BEIndex Build(const BipartiteGraph& g, const PriorityAdjacency& adj);
+
+  /// Compressed index over all edges, folding wedges whose two edges are
+  /// both `assigned` into the bloom base counts.
+  static BEIndex BuildCompressed(const BipartiteGraph& g,
+                                 const PriorityAdjacency& adj,
+                                 const std::vector<std::uint8_t>& assigned);
+
+  /// Compressed index over the subgraph {e : included[e] != 0}; wedges with
+  /// an excluded edge are dropped entirely.  `included` may be empty to
+  /// mean "all edges".
+  static BEIndex BuildCompressed(const BipartiteGraph& g,
+                                 const PriorityAdjacency& adj,
+                                 const std::vector<std::uint8_t>& assigned,
+                                 const std::vector<std::uint8_t>& included);
+};
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_CORE_BE_INDEX_BUILDER_H_

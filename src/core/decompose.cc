@@ -1,0 +1,297 @@
+#include "core/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "butterfly/butterfly_counting.h"
+#include "core/be_index_builder.h"
+#include "core/peeling_state.h"
+
+namespace bitruss {
+
+namespace {
+
+constexpr std::uint32_t kDeadlinePollInterval = 256;
+
+// BiT-BS peeling: on every removal, re-enumerate the butterflies of the
+// removed edge on the current (shrinking) graph and decrement the other
+// three edges of each.  O(d(u) + sum_{w in N(v)} d(w)) per removal.
+void PeelBS(const BipartiteGraph& g, std::vector<SupportT> sup,
+            const DecomposeOptions& options, BitrussResult* result) {
+  const EdgeId m = g.NumEdges();
+  const VertexId n = g.NumVertices();
+  std::vector<std::uint8_t> removed(m, 0);
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::vector<EdgeId> stamp_edge(n, kInvalidEdge);
+  std::uint32_t epoch = 0;
+
+  const bool track = options.track_per_edge_updates;
+  const auto update = [&](EdgeId e) {
+    ++result->counters.support_updates;
+    if (track) ++result->counters.per_edge_updates[e];
+    if (sup[e] > 0) --sup[e];
+  };
+
+  SupportT max_sup = m == 0 ? 0 : *std::max_element(sup.begin(), sup.end());
+  std::vector<std::vector<EdgeId>> buckets(
+      static_cast<std::size_t>(max_sup) + 1);
+  for (EdgeId e = 0; e < m; ++e) buckets[sup[e]].push_back(e);
+
+  SupportT cursor = 0;
+  SupportT level = 0;
+  EdgeId remaining = m;
+  std::uint32_t since_poll = 0;
+  while (remaining > 0) {
+    while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
+    if (cursor >= buckets.size()) break;
+    std::vector<EdgeId>& bucket = buckets[cursor];
+    const EdgeId e = bucket.back();
+    bucket.pop_back();
+    if (removed[e] || sup[e] != cursor) continue;
+    if (++since_poll >= kDeadlinePollInterval) {
+      since_poll = 0;
+      if (options.deadline.Expired()) {
+        result->timed_out = true;
+        return;
+      }
+    }
+    level = std::max(level, cursor);
+    removed[e] = 1;
+    --remaining;
+    result->phi[e] = level;
+
+    const VertexId u = g.EdgeUpper(e);
+    const VertexId v = g.EdgeLower(e);
+    ++epoch;
+    for (const auto& [y, ey] : g.Neighbors(u)) {
+      if (!removed[ey] && y != v) {
+        stamp[y] = epoch;
+        stamp_edge[y] = ey;
+      }
+    }
+    SupportT min_new = cursor;
+    for (const auto& [w, ew] : g.Neighbors(v)) {
+      if (removed[ew] || w == u) continue;
+      for (const auto& [y, ewy] : g.Neighbors(w)) {
+        if (removed[ewy] || y == v || stamp[y] != epoch) continue;
+        // Butterfly {u, v, w, y}: the three surviving edges lose it.
+        update(stamp_edge[y]);
+        update(ew);
+        update(ewy);
+        buckets[sup[stamp_edge[y]]].push_back(stamp_edge[y]);
+        buckets[sup[ewy]].push_back(ewy);
+        min_new = std::min({min_new, sup[stamp_edge[y]], sup[ewy]});
+      }
+      if (!removed[ew]) {
+        buckets[sup[ew]].push_back(ew);
+        min_new = std::min(min_new, sup[ew]);
+      }
+    }
+    cursor = std::min(cursor, min_new);
+  }
+}
+
+void RunIndexed(const BipartiteGraph& g, const PriorityAdjacency& adj,
+                std::vector<SupportT> sup, Peeler::Mode mode,
+                const DecomposeOptions& options, BitrussResult* result) {
+  Timer timer;
+  BEIndex index = BEIndexBuilder::Build(g, adj);
+  result->counters.peak_index_bytes = index.MemoryBytes();
+  result->counters.counting_seconds += timer.Seconds();
+
+  PeelerOptions peel_options;
+  peel_options.track_per_edge_updates = options.track_per_edge_updates;
+  PeelCounters counters;
+  counters.per_edge_updates = std::move(result->counters.per_edge_updates);
+  Peeler peeler(std::move(index), std::move(sup), std::move(peel_options),
+                &counters);
+  timer.Reset();
+  const bool completed =
+      peeler.Run(mode, options.deadline,
+                 [&](EdgeId e, SupportT level) { result->phi[e] = level; });
+  result->counters.peeling_seconds = timer.Seconds();
+  result->timed_out = !completed;
+  result->counters.support_updates = counters.support_updates;
+  result->counters.per_edge_updates = std::move(counters.per_edge_updates);
+}
+
+// BiT-PC.  Rounds iterate a strictly decreasing support threshold theta.
+// Each round restricts to the theta-bitruss of g — computed by cascade
+// *recounting* (counting passes, not support updates; that exchange is
+// exactly the progressive-compression trade) — and peels it with all
+// previously assigned edges frozen and their mutual wedges compressed into
+// bloom base counts.  Every edge of the theta-bitruss has phi >= theta, so
+// the round assigns every edge it peels, each edge is peeled exactly once
+// across the whole run, and hub edges never absorb the low-level update
+// storm (Figure 7's observation).
+void RunPC(const BipartiteGraph& g, const PriorityAdjacency& adj,
+           const std::vector<SupportT>& sup_g, const DecomposeOptions& options,
+           BitrussResult* result) {
+  const EdgeId m = g.NumEdges();
+  Timer timer;
+  std::vector<std::uint8_t> assigned(m, 0);
+  std::vector<std::uint8_t> included(m, 0);
+  EdgeId unassigned = m;
+
+  const double tau = std::clamp(options.tau, 1e-6, 1.0);
+  const EdgeId per_round = std::max<EdgeId>(
+      1, static_cast<EdgeId>(std::llround(std::ceil(tau * m))));
+
+  // Theta ladder: every per_round-th value of the descending original
+  // support sequence, deduplicated, ending at 0.  The round count is
+  // therefore ~1/tau regardless of how phi relates to sup_G, which is the
+  // knob Figure 14 sweeps.
+  std::vector<std::uint64_t> ladder;
+  {
+    std::vector<SupportT> sorted = sup_g;
+    std::sort(sorted.begin(), sorted.end(), std::greater<SupportT>());
+    for (std::size_t r = per_round - 1; r < sorted.size(); r += per_round) {
+      if (ladder.empty() || sorted[r] < ladder.back()) {
+        ladder.push_back(sorted[r]);
+      }
+    }
+    if (ladder.empty() || ladder.back() > 0) ladder.push_back(0);
+  }
+  // Per-edge upper bound on phi, tightened every time a cascade evicts the
+  // edge from a theta-bitruss; keeps later rounds' seed subgraphs small.
+  std::vector<SupportT> phi_bound = sup_g;
+
+  for (const std::uint64_t theta : ladder) {
+    if (unassigned == 0) break;
+    if (options.deadline.Expired()) {
+      result->timed_out = true;
+      break;
+    }
+
+    // Candidate = theta-bitruss: seed with assigned edges (phi >= theta by
+    // construction) plus unassigned edges whose phi bound allows theta,
+    // then cascade-recount until every candidate has in-subgraph support
+    // >= theta.  Recounting is counting work, not support updates — that
+    // exchange is the essence of progressive compression.
+    for (EdgeId e = 0; e < m; ++e) {
+      included[e] = assigned[e] || phi_bound[e] >= theta;
+    }
+    // Cascade until every unassigned candidate holds in-subgraph support
+    // >= theta; the converged build is reused directly for the peel.
+    BEIndex index;
+    std::vector<SupportT> sup_sub;
+    bool converged = false;
+    while (!converged && !options.deadline.Expired()) {
+      index = BEIndexBuilder::BuildCompressed(g, adj, assigned, included);
+      sup_sub = index.ComputeSupports();
+      converged = true;
+      if (theta == 0) break;
+      for (EdgeId e = 0; e < m; ++e) {
+        if (included[e] && !assigned[e] && sup_sub[e] < theta) {
+          included[e] = 0;
+          phi_bound[e] = std::min<SupportT>(
+              phi_bound[e], static_cast<SupportT>(theta - 1));
+          converged = false;
+        }
+      }
+    }
+    if (!converged) {
+      result->timed_out = true;
+      break;
+    }
+
+    std::uint64_t candidate_unassigned = 0;
+    for (EdgeId e = 0; e < m; ++e) {
+      candidate_unassigned += included[e] && !assigned[e];
+    }
+    if (candidate_unassigned == 0) {
+      // No edge has phi at or above this theta; move down the ladder.
+      result->pc_trace.push_back({theta, 0, 0, 0});
+      continue;
+    }
+
+    const std::uint64_t index_bytes = index.MemoryBytes();
+    result->counters.peak_index_bytes =
+        std::max(result->counters.peak_index_bytes, index_bytes);
+
+    PeelerOptions peel_options;
+    peel_options.track_per_edge_updates = options.track_per_edge_updates;
+    peel_options.frozen.resize(m);
+    for (EdgeId e = 0; e < m; ++e) {
+      peel_options.frozen[e] = assigned[e] || !included[e];
+    }
+    PeelCounters counters;
+    counters.per_edge_updates = std::move(result->counters.per_edge_updates);
+
+    std::uint64_t assigned_now = 0;
+    Peeler peeler(std::move(index), std::move(sup_sub),
+                  std::move(peel_options), &counters);
+    const bool completed = peeler.Run(
+        Peeler::Mode::kBatchBlooms, options.deadline,
+        [&](EdgeId e, SupportT level) {
+          // Every candidate edge sits in the theta-bitruss, so the peel
+          // level provably reaches theta; the guard is defensive only.
+          if (level >= theta) {
+            result->phi[e] = level;
+            assigned[e] = 1;
+            ++assigned_now;
+          }
+        });
+    result->counters.support_updates += counters.support_updates;
+    result->counters.per_edge_updates = std::move(counters.per_edge_updates);
+    result->pc_trace.push_back(
+        {theta, candidate_unassigned, assigned_now, index_bytes});
+    if (!completed) {
+      result->timed_out = true;
+      break;
+    }
+    unassigned -= static_cast<EdgeId>(assigned_now);
+  }
+  result->counters.peeling_seconds = timer.Seconds();
+}
+
+}  // namespace
+
+BitrussResult Decompose(const BipartiteGraph& g,
+                        const DecomposeOptions& options) {
+  BitrussResult result;
+  const EdgeId m = g.NumEdges();
+  result.phi.assign(m, 0);
+  if (options.track_per_edge_updates) {
+    result.counters.per_edge_updates.assign(m, 0);
+  }
+
+  Timer timer;
+  const VertexPriority priority =
+      VertexPriority::Compute(g, options.priority_rule);
+  const PriorityAdjacency adj(g, priority);
+  std::vector<SupportT> sup = CountEdgeSupports(g, adj);
+  result.original_support = sup;
+  std::uint64_t support_sum = 0;
+  for (const SupportT s : sup) support_sum += s;
+  result.total_butterflies = support_sum / 4;  // every butterfly has 4 edges
+  result.counters.counting_seconds = timer.Seconds();
+
+  switch (options.algorithm) {
+    case Algorithm::kBS: {
+      timer.Reset();
+      PeelBS(g, std::move(sup), options, &result);
+      result.counters.peeling_seconds = timer.Seconds();
+      break;
+    }
+    case Algorithm::kBU:
+      RunIndexed(g, adj, std::move(sup), Peeler::Mode::kSingle, options,
+                 &result);
+      break;
+    case Algorithm::kBUPlus:
+      RunIndexed(g, adj, std::move(sup), Peeler::Mode::kBatchEdges, options,
+                 &result);
+      break;
+    case Algorithm::kBUPlusPlus:
+      RunIndexed(g, adj, std::move(sup), Peeler::Mode::kBatchBlooms, options,
+                 &result);
+      break;
+    case Algorithm::kPC:
+      RunPC(g, adj, sup, options, &result);
+      break;
+  }
+  return result;
+}
+
+}  // namespace bitruss

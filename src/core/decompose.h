@@ -1,0 +1,52 @@
+// Bitruss decomposition: Decompose(g, options) with the five algorithm
+// variants of Wang et al. (ICDE'20).
+//
+//   kBS         baseline: peel with direct butterfly re-enumeration on the
+//               shrinking graph (no index) — Section III.
+//   kBU         BE-Index peeling, one edge at a time — Section IV.
+//   kBUPlus     + batch edge processing — Section V-A.
+//   kBUPlusPlus + batch bloom processing — Section V-B.
+//   kPC         progressive compression: iterate a decreasing support
+//               threshold theta; each round rebuilds a compressed BE-Index
+//               over the candidate subgraph {e : sup_G(e) >= theta} with
+//               already-assigned edges folded away, peels it, and fixes
+//               phi for edges whose peel level reaches theta — Section V-C.
+//               `tau` sets the fraction of edges targeted per round
+//               (tau = 1 degenerates to a single full round).
+
+#ifndef BITRUSS_CORE_DECOMPOSE_H_
+#define BITRUSS_CORE_DECOMPOSE_H_
+
+#include "core/bitruss_result.h"
+#include "graph/bipartite_graph.h"
+#include "graph/vertex_priority.h"
+#include "util/timer.h"
+
+namespace bitruss {
+
+enum class Algorithm {
+  kBS,
+  kBU,
+  kBUPlus,
+  kBUPlusPlus,
+  kPC,
+};
+
+struct DecomposeOptions {
+  Algorithm algorithm = Algorithm::kBUPlusPlus;
+  /// BiT-PC: target fraction of edges added to the candidate per iteration.
+  double tau = 0.02;
+  /// Abort knob; expired runs return partial phi with timed_out set.
+  Deadline deadline;
+  /// Fill UpdateCounters::per_edge_updates (costs one u64 per edge).
+  bool track_per_edge_updates = false;
+  /// Vertex ordering; any total order is correct (kIdOnly is for ablation).
+  PriorityRule priority_rule = PriorityRule::kDegreeThenId;
+};
+
+BitrussResult Decompose(const BipartiteGraph& g,
+                        const DecomposeOptions& options = {});
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_CORE_DECOMPOSE_H_

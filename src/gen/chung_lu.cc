@@ -1,0 +1,76 @@
+#include "gen/chung_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bitruss {
+
+namespace {
+
+// Cumulative weights for (i+1)^-exponent, normalized to end at 1.
+std::vector<double> CumulativeWeights(VertexId n, double exponent) {
+  std::vector<double> cumulative(n, 0.0);
+  double total = 0;
+  for (VertexId i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i) + 1.0, -exponent);
+    cumulative[i] = total;
+  }
+  for (VertexId i = 0; i < n; ++i) cumulative[i] /= total;
+  return cumulative;
+}
+
+VertexId SampleIndex(const std::vector<double>& cumulative, double r) {
+  const auto it =
+      std::lower_bound(cumulative.begin(), cumulative.end(), r);
+  const std::size_t i = static_cast<std::size_t>(it - cumulative.begin());
+  return static_cast<VertexId>(std::min(i, cumulative.size() - 1));
+}
+
+}  // namespace
+
+BipartiteGraph GenerateChungLu(const ChungLuParams& params) {
+  const VertexId nu = params.num_upper;
+  const VertexId nl = params.num_lower;
+  const std::uint64_t grid = static_cast<std::uint64_t>(nu) * nl;
+  const std::uint64_t target = std::min<std::uint64_t>(params.num_edges, grid);
+  if (target == 0) return BipartiteGraph(nu, nl, {});
+
+  const double upper_exp = std::clamp(params.upper_exponent, 0.0, 0.99);
+  const double lower_exp = std::clamp(params.lower_exponent, 0.0, 0.99);
+  const std::vector<double> upper_cdf = CumulativeWeights(nu, upper_exp);
+  const std::vector<double> lower_cdf = CumulativeWeights(nl, lower_exp);
+
+  std::unordered_set<std::uint64_t> taken;
+  taken.reserve(target * 2);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(target);
+
+  Rng rng(params.seed * 0x2545f4914f6cdd1dull + 0x9e3779b9ull);
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 128ull * target + 1024;
+  while (edges.size() < target && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = SampleIndex(upper_cdf, rng.NextDouble());
+    const VertexId l = SampleIndex(lower_cdf, rng.NextDouble());
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | l;
+    if (taken.insert(key).second) edges.emplace_back(u, l);
+  }
+  // Hub saturation can stall rejection sampling; top up deterministically
+  // so the edge count (and scale monotonicity) is exact.
+  if (edges.size() < target) {
+    for (VertexId u = 0; u < nu && edges.size() < target; ++u) {
+      for (VertexId l = 0; l < nl && edges.size() < target; ++l) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | l;
+        if (taken.insert(key).second) edges.emplace_back(u, l);
+      }
+    }
+  }
+  return BipartiteGraph(nu, nl, std::move(edges));
+}
+
+}  // namespace bitruss

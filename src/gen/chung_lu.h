@@ -1,0 +1,34 @@
+// Chung-Lu style bipartite generator with power-law expected degrees —
+// the synthetic stand-in for the paper's skewed real-world datasets.
+
+#ifndef BITRUSS_GEN_CHUNG_LU_H_
+#define BITRUSS_GEN_CHUNG_LU_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace bitruss {
+
+struct ChungLuParams {
+  VertexId num_upper = 0;
+  VertexId num_lower = 0;
+  EdgeId num_edges = 0;
+  /// Skew of the expected-degree sequence per side: vertex i gets weight
+  /// (i+1)^-exponent.  0 is uniform; 0.7-0.9 gives hub-heavy tails like the
+  /// paper's datasets.  Values are clamped to [0, 0.99].
+  double upper_exponent = 0.8;
+  double lower_exponent = 0.8;
+  std::uint64_t seed = 1;
+};
+
+/// Exactly min(num_edges, num_upper * num_lower) distinct edges; endpoints
+/// drawn independently from the two weight distributions (duplicates
+/// resampled).  Deterministic in params for a fixed build; the weight
+/// table uses std::pow, so cross-platform bit-identity additionally
+/// depends on the libm in use (the PRNG itself is bit-exact everywhere).
+BipartiteGraph GenerateChungLu(const ChungLuParams& params);
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_GEN_CHUNG_LU_H_

@@ -1,0 +1,44 @@
+#include "gen/random_bipartite.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bitruss {
+
+BipartiteGraph GenerateUniformBipartite(VertexId num_upper, VertexId num_lower,
+                                        EdgeId num_edges, std::uint64_t seed) {
+  const std::uint64_t grid =
+      static_cast<std::uint64_t>(num_upper) * num_lower;
+  const std::uint64_t target = std::min<std::uint64_t>(num_edges, grid);
+
+  std::unordered_set<std::uint64_t> taken;
+  taken.reserve(target * 2);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(target);
+
+  Rng rng(seed ^ 0x5bd1e995ull);
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 64ull * target + 1024;
+  while (edges.size() < target && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = static_cast<VertexId>(rng.Below(num_upper));
+    const VertexId l = static_cast<VertexId>(rng.Below(num_lower));
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | l;
+    if (taken.insert(key).second) edges.emplace_back(u, l);
+  }
+  // Dense corner: top up deterministically so the edge count is exact.
+  if (edges.size() < target) {
+    for (VertexId u = 0; u < num_upper && edges.size() < target; ++u) {
+      for (VertexId l = 0; l < num_lower && edges.size() < target; ++l) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | l;
+        if (taken.insert(key).second) edges.emplace_back(u, l);
+      }
+    }
+  }
+  return BipartiteGraph(num_upper, num_lower, std::move(edges));
+}
+
+}  // namespace bitruss

@@ -1,0 +1,20 @@
+// Uniform (Erdos-Renyi style) random bipartite graphs.
+
+#ifndef BITRUSS_GEN_RANDOM_BIPARTITE_H_
+#define BITRUSS_GEN_RANDOM_BIPARTITE_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace bitruss {
+
+/// Exactly min(num_edges, num_upper * num_lower) distinct edges sampled
+/// uniformly.  Deterministic in the arguments (bit-identical across runs
+/// and platforms).
+BipartiteGraph GenerateUniformBipartite(VertexId num_upper, VertexId num_lower,
+                                        EdgeId num_edges, std::uint64_t seed);
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_GEN_RANDOM_BIPARTITE_H_

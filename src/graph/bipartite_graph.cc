@@ -1,0 +1,58 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bitruss {
+
+BipartiteGraph::BipartiteGraph(VertexId num_upper, VertexId num_lower,
+                               std::vector<std::pair<VertexId, VertexId>> edges)
+    : num_upper_(num_upper), num_lower_(num_lower) {
+  for (const auto& [u, l] : edges) {
+    if (u >= num_upper || l >= num_lower) {
+      throw std::invalid_argument("BipartiteGraph: edge endpoint out of range");
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  const EdgeId m = static_cast<EdgeId>(edges.size());
+  edge_upper_.resize(m);
+  edge_lower_.resize(m);
+  const VertexId n = NumVertices();
+  offsets_.assign(n + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const VertexId u = edges[e].first;
+    const VertexId v = num_upper_ + edges[e].second;
+    edge_upper_[e] = u;
+    edge_lower_[e] = v;
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+
+  adj_.resize(2ull * m);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const VertexId u = edge_upper_[e];
+    const VertexId v = edge_lower_[e];
+    adj_[cursor[u]++] = {v, e};
+    adj_[cursor[v]++] = {u, e};
+  }
+}
+
+std::vector<std::pair<VertexId, VertexId>> BipartiteGraph::EdgeList() const {
+  std::vector<std::pair<VertexId, VertexId>> edges(NumEdges());
+  for (EdgeId e = 0; e < NumEdges(); ++e) {
+    edges[e] = {edge_upper_[e], edge_lower_[e] - num_upper_};
+  }
+  return edges;
+}
+
+std::uint64_t BipartiteGraph::MemoryBytes() const {
+  return offsets_.size() * sizeof(std::uint64_t) +
+         adj_.size() * sizeof(AdjEntry) +
+         (edge_upper_.size() + edge_lower_.size()) * sizeof(VertexId);
+}
+
+}  // namespace bitruss

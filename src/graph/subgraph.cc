@@ -1,0 +1,75 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace bitruss {
+
+namespace {
+
+// Kept[i] != 0 for a uniform sample of round(percent% * n) indices.
+std::vector<std::uint8_t> SampleSide(VertexId n, unsigned percent, Rng& rng) {
+  std::vector<std::uint8_t> kept(n, 0);
+  if (n == 0) return kept;
+  VertexId target = static_cast<VertexId>(
+      (static_cast<std::uint64_t>(n) * percent + 50) / 100);
+  target = std::min<VertexId>(n, std::max<VertexId>(1, target));
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  for (VertexId i = 0; i < target; ++i) {  // partial Fisher-Yates
+    const VertexId j = i + static_cast<VertexId>(rng.Below(n - i));
+    std::swap(ids[i], ids[j]);
+    kept[ids[i]] = 1;
+  }
+  return kept;
+}
+
+}  // namespace
+
+BipartiteGraph InducedVertexSample(const BipartiteGraph& g, unsigned percent,
+                                   std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  const std::vector<std::uint8_t> keep_upper =
+      SampleSide(g.NumUpper(), percent, rng);
+  const std::vector<std::uint8_t> keep_lower =
+      SampleSide(g.NumLower(), percent, rng);
+
+  std::vector<VertexId> upper_map(g.NumUpper(), kInvalidVertex);
+  std::vector<VertexId> lower_map(g.NumLower(), kInvalidVertex);
+  VertexId nu = 0, nl = 0;
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    if (keep_upper[u]) upper_map[u] = nu++;
+  }
+  for (VertexId l = 0; l < g.NumLower(); ++l) {
+    if (keep_lower[l]) lower_map[l] = nl++;
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const VertexId u = g.EdgeUpper(e);
+    const VertexId l = g.EdgeLower(e) - g.NumUpper();
+    if (keep_upper[u] && keep_lower[l]) {
+      edges.emplace_back(upper_map[u], lower_map[l]);
+    }
+  }
+  return BipartiteGraph(nu, nl, std::move(edges));
+}
+
+BipartiteGraph EdgeMaskSubgraph(const BipartiteGraph& g,
+                                const std::vector<std::uint8_t>& keep,
+                                std::vector<EdgeId>* edge_origin) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  if (edge_origin != nullptr) edge_origin->clear();
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (!keep[e]) continue;
+    // Iterating by ascending EdgeId yields lexicographic endpoint order, the
+    // same order the constructor assigns — so positions map 1:1.
+    edges.emplace_back(g.EdgeUpper(e), g.EdgeLower(e) - g.NumUpper());
+    if (edge_origin != nullptr) edge_origin->push_back(e);
+  }
+  return BipartiteGraph(g.NumUpper(), g.NumLower(), std::move(edges));
+}
+
+}  // namespace bitruss

@@ -1,0 +1,30 @@
+// Subgraph extraction utilities (Figure 12's scalability protocol).
+
+#ifndef BITRUSS_GRAPH_SUBGRAPH_H_
+#define BITRUSS_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace bitruss {
+
+/// Induced subgraph on a uniform sample of `percent`% of the upper and
+/// `percent`% of the lower vertices (rounded, at least one per side when
+/// the side is non-empty).  Kept vertices are re-indexed compactly, so the
+/// result is a standalone graph.  Deterministic in (g, percent, seed).
+BipartiteGraph InducedVertexSample(const BipartiteGraph& g, unsigned percent,
+                                   std::uint64_t seed);
+
+/// Subgraph keeping exactly the edges with keep[e] != 0.  Vertex ids are
+/// preserved (no re-indexing).  When `edge_origin` is non-null it receives,
+/// for each edge of the result in EdgeId order, the originating EdgeId in g
+/// (well-defined because edge ids follow lexicographic endpoint order).
+BipartiteGraph EdgeMaskSubgraph(const BipartiteGraph& g,
+                                const std::vector<std::uint8_t>& keep,
+                                std::vector<EdgeId>* edge_origin = nullptr);
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,30 @@
+// Core integral types shared across the bitruss library.
+//
+// 32-bit ids keep the CSR arrays and BE-Index compact; the target workloads
+// (Section VI scale and the ROADMAP's scaled-up successors) stay well under
+// 2^32 vertices/edges per shard.  Aggregate counters (butterfly totals,
+// update counts, byte sizes) are always 64-bit.
+
+#ifndef BITRUSS_GRAPH_TYPES_H_
+#define BITRUSS_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace bitruss {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// Per-edge butterfly support / bitruss number.  A single edge (u, v) is in
+/// at most (d(u)-1)*(d(v)-1) butterflies, which fits 32 bits at our scales.
+using SupportT = std::uint32_t;
+
+using BloomId = std::uint32_t;
+using WedgeId = std::uint32_t;
+
+constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_GRAPH_TYPES_H_

@@ -1,0 +1,36 @@
+// Lightweight memory accounting helpers.  Index structures report their own
+// footprint via `MemoryBytes()`; this header only hosts the shared unit
+// conversions and a best-effort process-level probe for benches.
+
+#ifndef BITRUSS_UTIL_MEMORY_TRACKER_H_
+#define BITRUSS_UTIL_MEMORY_TRACKER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace bitruss {
+
+inline double BytesToMiB(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+inline double BytesToMB(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / 1e6;
+}
+
+/// Current resident set size in bytes, or 0 where /proc is unavailable.
+/// Best-effort: used only for bench reporting, never for decisions.
+inline std::uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long pages_total = 0, pages_resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::uint64_t>(pages_resident) * 4096ull;
+}
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_UTIL_MEMORY_TRACKER_H_

@@ -1,0 +1,55 @@
+// Deterministic, seedable PRNG used by all synthetic generators.
+//
+// std::mt19937 + distributions are not guaranteed to produce identical
+// streams across standard libraries; the generators promise bit-identical
+// datasets for a fixed seed, so we ship our own splitmix64/xoshiro-style
+// mixer instead.
+
+#ifndef BITRUSS_UTIL_RANDOM_H_
+#define BITRUSS_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace bitruss {
+
+/// splitmix64 (Steele et al.): tiny, fast, and passes BigCrush when used as
+/// a stream; fully reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); returns 0 when n == 0.  Uses 64-bit multiply-shift
+  /// (Lemire) — bias is negligible for the n values used here.
+  std::uint64_t Below(std::uint64_t n) {
+    if (n == 0) return 0;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit string hash (FNV-1a) for deriving per-dataset seeds.
+inline std::uint64_t HashString64(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_UTIL_RANDOM_H_

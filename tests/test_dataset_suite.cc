@@ -1,0 +1,101 @@
+// Determinism and validity of the named synthetic dataset suite.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "gen/dataset_suite.h"
+#include "graph/bipartite_graph.h"
+#include "graph/subgraph.h"
+
+namespace bitruss {
+namespace {
+
+TEST(DatasetSuite, HasFifteenDatasetsIncludingTheBenchNames) {
+  const std::vector<std::string> names = DatasetNames();
+  EXPECT_EQ(names.size(), 15u);
+  const std::set<std::string> set(names.begin(), names.end());
+  EXPECT_EQ(set.size(), names.size()) << "duplicate dataset names";
+  for (const char* required :
+       {"Github", "Twitter", "D-label", "D-style", "Wiki-it"}) {
+    EXPECT_TRUE(set.count(required)) << required;
+  }
+}
+
+TEST(DatasetSuite, GenerationIsDeterministic) {
+  for (const std::string& name : DatasetNames()) {
+    const BipartiteGraph a = MakeDataset(name, 0.05);
+    const BipartiteGraph b = MakeDataset(name, 0.05);
+    EXPECT_EQ(a.NumUpper(), b.NumUpper()) << name;
+    EXPECT_EQ(a.NumLower(), b.NumLower()) << name;
+    EXPECT_EQ(a.EdgeList(), b.EdgeList()) << name;
+  }
+}
+
+TEST(DatasetSuite, ScaleIsMonotone) {
+  for (const std::string& name : DatasetNames()) {
+    const BipartiteGraph small = MakeDataset(name, 0.02);
+    const BipartiteGraph medium = MakeDataset(name, 0.05);
+    const BipartiteGraph large = MakeDataset(name, 0.1);
+    EXPECT_LE(small.NumEdges(), medium.NumEdges()) << name;
+    EXPECT_LE(medium.NumEdges(), large.NumEdges()) << name;
+    EXPECT_LE(small.NumVertices(), medium.NumVertices()) << name;
+    EXPECT_LE(medium.NumVertices(), large.NumVertices()) << name;
+    EXPECT_GT(small.NumEdges(), 0u) << name;
+  }
+}
+
+TEST(DatasetSuite, EveryDatasetIsAValidBipartiteGraph) {
+  for (const std::string& name : DatasetNames()) {
+    const BipartiteGraph g = MakeDataset(name, 0.05);
+    EXPECT_GT(g.NumUpper(), 0u) << name;
+    EXPECT_GT(g.NumLower(), 0u) << name;
+    EXPECT_GT(g.NumEdges(), 0u) << name;
+
+    std::set<std::pair<VertexId, VertexId>> seen;
+    std::uint64_t degree_sum = 0;
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      const VertexId u = g.EdgeUpper(e);
+      const VertexId v = g.EdgeLower(e);
+      ASSERT_LT(u, g.NumUpper()) << name;
+      ASSERT_GE(v, g.NumUpper()) << name;
+      ASSERT_LT(v, g.NumVertices()) << name;
+      EXPECT_TRUE(seen.emplace(u, v).second)
+          << name << ": duplicate edge " << u << "-" << v;
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) degree_sum += g.Degree(v);
+    EXPECT_EQ(degree_sum, 2ull * g.NumEdges()) << name;
+  }
+}
+
+TEST(DatasetSuite, RequestedEdgeBudgetIsHonored) {
+  // The generators guarantee the exact edge budget (top-up path), which is
+  // what makes the scale-monotonicity contract exact rather than expected.
+  const BipartiteGraph g = MakeDataset("Github", 0.05);
+  EXPECT_EQ(g.NumEdges(), 1500u);
+}
+
+TEST(DatasetSuite, UnknownNameAndBadScaleThrow) {
+  EXPECT_THROW(MakeDataset("NoSuchDataset", 1.0), std::invalid_argument);
+  EXPECT_THROW(MakeDataset("Github", 0.0), std::invalid_argument);
+  EXPECT_THROW(MakeDataset("Github", -1.0), std::invalid_argument);
+}
+
+TEST(DatasetSuite, InducedVertexSampleIsValidAndDeterministic) {
+  const BipartiteGraph g = MakeDataset("Github", 0.05);
+  const BipartiteGraph a = InducedVertexSample(g, 50, 42);
+  const BipartiteGraph b = InducedVertexSample(g, 50, 42);
+  EXPECT_EQ(a.EdgeList(), b.EdgeList());
+  EXPECT_LE(a.NumUpper(), g.NumUpper());
+  EXPECT_LE(a.NumLower(), g.NumLower());
+  EXPECT_LT(a.NumEdges(), g.NumEdges());
+  std::uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < a.NumVertices(); ++v) degree_sum += a.Degree(v);
+  EXPECT_EQ(degree_sum, 2ull * a.NumEdges());
+}
+
+}  // namespace
+}  // namespace bitruss
