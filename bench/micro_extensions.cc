@@ -1,6 +1,7 @@
 // Google-benchmark micro suite: primitives of the extension modules —
-// sampling estimators, dynamic updates, (alpha,beta)-core peeling, truss
-// supports, tip peeling, community queries and result verification.
+// sampling estimators, (alpha,beta)-core peeling, truss supports, tip
+// peeling, community queries and result verification.  (Dynamic-graph
+// benchmarks live in micro_dynamic.cc, which builds today.)
 
 #include <benchmark/benchmark.h>
 
@@ -10,7 +11,6 @@
 #include "core/community_search.h"
 #include "core/decompose.h"
 #include "core/verify.h"
-#include "dynamic/dynamic_graph.h"
 #include "gen/chung_lu.h"
 #include "graph/projection.h"
 #include "truss/truss_decomposition.h"
@@ -43,22 +43,6 @@ void BM_WedgeSamplingEstimate(benchmark::State& state) {
 BENCHMARK(BM_WedgeSamplingEstimate)
     ->Args({50000, 1000})
     ->Args({50000, 10000});
-
-void BM_DynamicInsertDelete(benchmark::State& state) {
-  const BipartiteGraph g = SkewedGraph(state.range(0));
-  DynamicBipartiteGraph dynamic(g);
-  Rng rng(99);
-  for (auto _ : state) {
-    const auto u = static_cast<VertexId>(rng.Below(g.NumUpper()));
-    const auto v = static_cast<VertexId>(rng.Below(g.NumLower()));
-    auto inserted = dynamic.InsertEdge(u, v);
-    if (inserted.ok()) {
-      benchmark::DoNotOptimize(dynamic.DeleteEdge(inserted.value()));
-    }
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_DynamicInsertDelete)->Arg(20000)->Arg(80000);
 
 void BM_ABCoreExtraction(benchmark::State& state) {
   const BipartiteGraph g = SkewedGraph(state.range(0));

@@ -13,6 +13,7 @@
 #define BITRUSS_BUTTERFLY_WEDGE_ENUMERATION_H_
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "graph/types.h"
@@ -69,6 +70,36 @@ void ForEachBloom(const AdjT& a, PairFn&& on_pair, WedgeFn&& on_wedge,
     on_anchor_done(touched);
     for (const VertexId wr : touched) count[wr] = 0;
     touched.clear();
+  }
+}
+
+// Local analogue of ForEachBloom for dynamic updates: enumerates every
+// butterfly containing the single edge (u, v) by walking only the wedges
+// through its endpoints, instead of re-anchoring the whole graph.  A
+// butterfly {u, w, v, x} containing (u, v) is reached exactly once — via
+// its unique wedge u-x-w anchored at the lower-degree endpoint — and the
+// callback receives the butterfly's three OTHER edges:
+// `on_butterfly(edge(s,x), edge(x,w), edge(w,t))` with {s,t} = {u,v}.
+//
+// Works both pre-insertion ((u, v) not yet in the adjacency) and
+// pre-deletion ((u, v) still present; its own entries are skipped).
+//
+// AdjT is any mutable-graph adjacency: Degree(v), Neighbors(v) -> range of
+// {neighbor, edge} entries, and FindEdge(a, b) -> EdgeId or kInvalidEdge
+// for endpoints given in either order.  Cost is
+// O(sum_{x in N(s)} d(x)) membership probes with s the smaller endpoint.
+template <typename AdjT, typename ButterflyFn>
+void ForEachButterflyThroughEdge(const AdjT& a, VertexId u, VertexId v,
+                                 ButterflyFn&& on_butterfly) {
+  VertexId s = u, t = v;
+  if (a.Degree(t) < a.Degree(s)) std::swap(s, t);
+  for (const auto& x : a.Neighbors(s)) {
+    if (x.neighbor == t) continue;
+    for (const auto& w : a.Neighbors(x.neighbor)) {
+      if (w.neighbor == s) continue;
+      const EdgeId closing = a.FindEdge(w.neighbor, t);
+      if (closing != kInvalidEdge) on_butterfly(x.edge, w.edge, closing);
+    }
   }
 }
 

@@ -1,0 +1,178 @@
+#include "dynamic/dynamic_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "butterfly/butterfly_counting.h"
+#include "butterfly/wedge_enumeration.h"
+
+namespace bitruss {
+
+DynamicBipartiteGraph::DynamicBipartiteGraph(const BipartiteGraph& seed)
+    : num_upper_(seed.NumUpper()),
+      num_lower_(seed.NumLower()),
+      num_live_(seed.NumEdges()),
+      adj_(seed.NumVertices()) {
+  const std::vector<SupportT> sup = CountEdgeSupports(seed);
+  slots_.resize(seed.NumEdges());
+  edge_index_.reserve(seed.NumEdges());
+  std::uint64_t support_sum = 0;
+  for (EdgeId e = 0; e < seed.NumEdges(); ++e) {
+    const VertexId u = seed.EdgeUpper(e);
+    const VertexId v = seed.EdgeLower(e);
+    slots_[e] = {u, v, static_cast<std::uint32_t>(adj_[u].size()),
+                 static_cast<std::uint32_t>(adj_[v].size()), sup[e]};
+    adj_[u].push_back({v, e});
+    adj_[v].push_back({u, e});
+    edge_index_.emplace(PairKey(u, v), e);
+    support_sum += sup[e];
+  }
+  // Every butterfly contributes +1 support to each of its four edges.
+  num_butterflies_ = support_sum / 4;
+}
+
+EdgeId DynamicBipartiteGraph::FindEdge(VertexId a, VertexId b) const {
+  const std::uint64_t key = a < num_upper_ ? PairKey(a, b) : PairKey(b, a);
+  const auto it = edge_index_.find(key);
+  return it == edge_index_.end() ? kInvalidEdge : it->second;
+}
+
+StatusOr<EdgeId> DynamicBipartiteGraph::InsertEdge(VertexId upper_local,
+                                                   VertexId lower_local) {
+  if (upper_local >= num_upper_ || lower_local >= num_lower_) {
+    return InvalidArgumentError("InsertEdge: endpoint out of range");
+  }
+  const VertexId u = upper_local;
+  const VertexId v = num_upper_ + lower_local;
+  const std::uint64_t key = PairKey(u, v);
+  if (edge_index_.count(key) != 0) {
+    return AlreadyExistsError("InsertEdge: edge already present");
+  }
+
+  // New butterflies are exactly those through (u, v); each adds +1 support
+  // to its three pre-existing edges, and the new edge collects the total.
+  std::uint64_t found = 0;
+  internal::ForEachButterflyThroughEdge(
+      *this, u, v, [&](EdgeId e1, EdgeId e2, EdgeId e3) {
+        ++found;
+        ++slots_[e1].support;
+        ++slots_[e2].support;
+        ++slots_[e3].support;
+      });
+  num_butterflies_ += found;
+
+  EdgeId e;
+  if (!free_slots_.empty()) {
+    e = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    e = static_cast<EdgeId>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[e] = {u, v, static_cast<std::uint32_t>(adj_[u].size()),
+               static_cast<std::uint32_t>(adj_[v].size()),
+               static_cast<SupportT>(found)};
+  adj_[u].push_back({v, e});
+  adj_[v].push_back({u, e});
+  edge_index_.emplace(key, e);
+  ++num_live_;
+  return e;
+}
+
+Status DynamicBipartiteGraph::DeleteEdge(EdgeId e) {
+  if (!IsLive(e)) {
+    return NotFoundError("DeleteEdge: no live edge in this slot");
+  }
+  EdgeSlot& slot = slots_[e];
+  const VertexId u = slot.upper;
+  const VertexId v = slot.lower;
+
+  // The edge is still present; its own adjacency entries are skipped by the
+  // enumeration, so only the three OTHER edges of each lost butterfly get
+  // the -1 delta.  A support-0 edge is in no butterfly, so the wedge walk
+  // would find nothing — skip it.
+  if (slot.support != 0) {
+    std::uint64_t found = 0;
+    internal::ForEachButterflyThroughEdge(
+        *this, u, v, [&](EdgeId e1, EdgeId e2, EdgeId e3) {
+          ++found;
+          --slots_[e1].support;
+          --slots_[e2].support;
+          --slots_[e3].support;
+        });
+    assert(found == slot.support);
+    num_butterflies_ -= found;
+  }
+
+  RemoveAdjEntry(u, slot.upper_pos);
+  RemoveAdjEntry(v, slot.lower_pos);
+  edge_index_.erase(PairKey(u, v));
+  slot = EdgeSlot{};  // upper == kInvalidVertex marks the slot free
+  free_slots_.push_back(e);
+  --num_live_;
+  return OkStatus();
+}
+
+void DynamicBipartiteGraph::RemoveAdjEntry(VertexId v, std::uint32_t pos) {
+  std::vector<Entry>& list = adj_[v];
+  if (pos + 1 != list.size()) {
+    const Entry moved = list.back();
+    list[pos] = moved;
+    EdgeSlot& ms = slots_[moved.edge];
+    if (ms.upper == v) {
+      ms.upper_pos = pos;
+    } else {
+      ms.lower_pos = pos;
+    }
+  }
+  list.pop_back();
+}
+
+GraphSnapshot DynamicBipartiteGraph::Snapshot() const {
+  // Live edges in lexicographic (upper, lower) order so the CSR ids match
+  // BipartiteGraph's documented edge-id invariant.
+  struct Row {
+    VertexId upper_local, lower_local;
+    EdgeId slot;
+  };
+  std::vector<Row> rows;
+  rows.reserve(num_live_);
+  for (EdgeId e = 0; e < NumSlots(); ++e) {
+    if (IsLive(e)) {
+      rows.push_back({slots_[e].upper, slots_[e].lower - num_upper_, e});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.upper_local != b.upper_local ? a.upper_local < b.upper_local
+                                          : a.lower_local < b.lower_local;
+  });
+
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(rows.size());
+  GraphSnapshot snapshot;
+  snapshot.slot_of_edge.reserve(rows.size());
+  snapshot.supports.reserve(rows.size());
+  for (const Row& row : rows) {
+    pairs.emplace_back(row.upper_local, row.lower_local);
+    snapshot.slot_of_edge.push_back(row.slot);
+    snapshot.supports.push_back(slots_[row.slot].support);
+  }
+  snapshot.graph = BipartiteGraph(num_upper_, num_lower_, std::move(pairs));
+  return snapshot;
+}
+
+std::uint64_t DynamicBipartiteGraph::MemoryBytes() const {
+  std::uint64_t adjacency = 0;
+  for (const std::vector<Entry>& list : adj_) {
+    adjacency += list.capacity() * sizeof(Entry);
+  }
+  // Hash index estimate: nodes (key, value, next pointer) + bucket array.
+  const std::uint64_t index =
+      edge_index_.size() *
+          (sizeof(std::uint64_t) + sizeof(EdgeId) + sizeof(void*)) +
+      edge_index_.bucket_count() * sizeof(void*);
+  return sizeof(*this) + adjacency + slots_.capacity() * sizeof(EdgeSlot) +
+         free_slots_.capacity() * sizeof(EdgeId) + index;
+}
+
+}  // namespace bitruss

@@ -1,0 +1,133 @@
+// Mutable bipartite graph with incrementally maintained butterfly supports.
+//
+// `DynamicBipartiteGraph` wraps a seed `BipartiteGraph` in hashed adjacency
+// (per-vertex neighbor vectors + a pair->edge hash index) so edges can be
+// inserted and deleted between decomposition runs without recounting the
+// whole graph: each update enumerates only the butterflies through the
+// touched edge (internal::ForEachButterflyThroughEdge) and applies the
+// ±1 support delta to the O(affected) edges.  Aggregate counters — live
+// edge count and exact total butterflies — are maintained across the
+// stream.
+//
+// Edge ids are stable SLOT ids: the seed's edges keep their CSR EdgeIds,
+// inserts reuse freed slots (free list) before growing, and a deleted
+// slot's id stays invalid until reused.  `Snapshot()` compacts the live
+// edges back to an immutable CSR `BipartiteGraph` (whose ids follow the
+// lexicographic invariant documented in graph/bipartite_graph.h) together
+// with the snapshot-id -> slot-id mapping and the maintained supports in
+// snapshot order, so a mutated graph feeds straight into `Decompose()` /
+// `BuildBEIndex()`.
+//
+// Vertex ids use the same one global space as BipartiteGraph: upper in
+// [0, NumUpper()), lower in [NumUpper(), NumUpper() + NumLower()).  The
+// vertex sets are fixed at seeding; mutation APIs take side-local indices
+// like the BipartiteGraph constructor and return Status/StatusOr
+// (util/status.h) instead of throwing — duplicate inserts and unknown
+// deletes are routine stream events, not contract violations.
+
+#ifndef BITRUSS_DYNAMIC_DYNAMIC_GRAPH_H_
+#define BITRUSS_DYNAMIC_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace bitruss {
+
+/// Compaction of a DynamicBipartiteGraph back to immutable CSR.
+struct GraphSnapshot {
+  BipartiteGraph graph;
+  /// Snapshot EdgeId -> dynamic slot id (size graph.NumEdges()).
+  std::vector<EdgeId> slot_of_edge;
+  /// Maintained butterfly supports reindexed to snapshot edge ids.
+  std::vector<SupportT> supports;
+};
+
+class DynamicBipartiteGraph {
+ public:
+  struct Entry {
+    VertexId neighbor;  ///< global vertex id of the other endpoint
+    EdgeId edge;        ///< slot id
+  };
+
+  /// Seeds from a static graph: copies its adjacency, keeps its EdgeIds as
+  /// the initial slot ids, and runs one exact counting pass for the
+  /// starting supports.
+  explicit DynamicBipartiteGraph(const BipartiteGraph& seed);
+
+  VertexId NumUpper() const { return num_upper_; }
+  VertexId NumLower() const { return num_lower_; }
+  VertexId NumVertices() const { return num_upper_ + num_lower_; }
+  /// Live edges (seed edges + inserts - deletes).
+  EdgeId NumEdges() const { return num_live_; }
+  /// Upper bound over slot ids; slots in [0, NumSlots()) may be free.
+  EdgeId NumSlots() const { return static_cast<EdgeId>(slots_.size()); }
+  /// Exact butterfly count, maintained across every update.
+  std::uint64_t NumButterflies() const { return num_butterflies_; }
+
+  /// Inserts the edge (upper_local, lower_local), updating the supports of
+  /// every edge that gains a butterfly.  Returns the assigned slot id;
+  /// kInvalidArgument for out-of-range endpoints, kAlreadyExists if the
+  /// edge is present.
+  StatusOr<EdgeId> InsertEdge(VertexId upper_local, VertexId lower_local);
+
+  /// Deletes the edge in slot `e`, updating the supports of every edge
+  /// that loses a butterfly.  kNotFound if `e` is out of range or free.
+  Status DeleteEdge(EdgeId e);
+
+  bool IsLive(EdgeId e) const {
+    return e < slots_.size() && slots_[e].upper != kInvalidVertex;
+  }
+  /// Endpoints as global vertex ids; requires IsLive(e).
+  VertexId EdgeUpper(EdgeId e) const { return slots_[e].upper; }
+  VertexId EdgeLower(EdgeId e) const { return slots_[e].lower; }
+  /// Maintained butterfly support of a live edge.
+  SupportT Support(EdgeId e) const { return slots_[e].support; }
+
+  VertexId Degree(VertexId v) const {
+    return static_cast<VertexId>(adj_[v].size());
+  }
+  const std::vector<Entry>& Neighbors(VertexId v) const { return adj_[v]; }
+
+  /// Slot id of the edge between global vertices a and b (either order),
+  /// or kInvalidEdge if absent.
+  EdgeId FindEdge(VertexId a, VertexId b) const;
+
+  /// Compacts the live edges to CSR; see GraphSnapshot.
+  GraphSnapshot Snapshot() const;
+
+  std::uint64_t MemoryBytes() const;
+
+ private:
+  struct EdgeSlot {
+    VertexId upper = kInvalidVertex;  ///< kInvalidVertex marks a free slot
+    VertexId lower = kInvalidVertex;
+    std::uint32_t upper_pos = 0;  ///< index of this edge in adj_[upper]
+    std::uint32_t lower_pos = 0;  ///< index of this edge in adj_[lower]
+    SupportT support = 0;
+  };
+
+  static std::uint64_t PairKey(VertexId upper, VertexId lower) {
+    return (static_cast<std::uint64_t>(upper) << 32) | lower;
+  }
+
+  /// Swap-pop removal of adj_[v][pos], fixing the moved entry's slot.
+  void RemoveAdjEntry(VertexId v, std::uint32_t pos);
+
+  VertexId num_upper_ = 0;
+  VertexId num_lower_ = 0;
+  EdgeId num_live_ = 0;
+  std::uint64_t num_butterflies_ = 0;
+  std::vector<std::vector<Entry>> adj_;  // size NumVertices()
+  std::vector<EdgeSlot> slots_;
+  std::vector<EdgeId> free_slots_;
+  std::unordered_map<std::uint64_t, EdgeId> edge_index_;  // PairKey -> slot
+};
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_DYNAMIC_DYNAMIC_GRAPH_H_

@@ -36,6 +36,9 @@ class Rng {
   /// Uniform double in [0, 1).
   double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
 
+  /// True with probability p (p <= 0 never, p >= 1 always).
+  bool NextBool(double p) { return NextDouble() < p; }
+
  private:
   std::uint64_t state_;
 };

@@ -1,0 +1,188 @@
+// Oracle tests for the dynamic bipartite graph: random insert/delete
+// streams on suite graphs, checking the incrementally maintained supports
+// against a fresh exact recount every K updates, Snapshot()+Decompose()
+// equivalence with an identically built static graph, and the Status
+// contract for duplicate inserts / missing deletes.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "butterfly/butterfly_counting.h"
+#include "core/decompose.h"
+#include "dynamic/dynamic_graph.h"
+#include "gen/dataset_suite.h"
+#include "gen/random_bipartite.h"
+#include "graph/bipartite_graph.h"
+#include "util/random.h"
+
+namespace bitruss {
+namespace {
+
+// Snapshot the dynamic graph and check every maintained support and the
+// butterfly total against an exact recount of the compacted CSR.
+void ExpectSupportsMatchRecount(const DynamicBipartiteGraph& dynamic) {
+  const GraphSnapshot snapshot = dynamic.Snapshot();
+  ASSERT_EQ(snapshot.graph.NumEdges(), dynamic.NumEdges());
+  ASSERT_EQ(snapshot.supports.size(), snapshot.graph.NumEdges());
+  EXPECT_EQ(snapshot.supports, CountEdgeSupports(snapshot.graph));
+  EXPECT_EQ(dynamic.NumButterflies(), CountTotalButterflies(snapshot.graph));
+}
+
+// The bench's mixed stream: delete a random known edge or insert a random
+// pair, verifying against the oracle every `verify_every` applied updates.
+void RunMixedStream(DynamicBipartiteGraph& dynamic, int updates,
+                    int verify_every, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EdgeId> inserted;
+  for (int applied = 0; applied < updates;) {
+    if (!inserted.empty() && rng.NextBool(0.5)) {
+      const std::size_t pick = rng.Below(inserted.size());
+      ASSERT_TRUE(dynamic.DeleteEdge(inserted[pick]).ok());
+      inserted[pick] = inserted.back();
+      inserted.pop_back();
+      ++applied;
+    } else {
+      const auto u = static_cast<VertexId>(rng.Below(dynamic.NumUpper()));
+      const auto v = static_cast<VertexId>(rng.Below(dynamic.NumLower()));
+      auto result = dynamic.InsertEdge(u, v);
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+        continue;
+      }
+      inserted.push_back(result.value());
+      ++applied;
+    }
+    if (applied % verify_every == 0) {
+      ASSERT_NO_FATAL_FAILURE(ExpectSupportsMatchRecount(dynamic));
+    }
+  }
+}
+
+TEST(DynamicGraph, SeedMatchesStaticCounting) {
+  for (const char* name : {"Writer", "Github"}) {
+    const BipartiteGraph seed = MakeDataset(name, 0.05);
+    const DynamicBipartiteGraph dynamic(seed);
+    EXPECT_EQ(dynamic.NumEdges(), seed.NumEdges());
+    EXPECT_EQ(dynamic.NumSlots(), seed.NumEdges());
+    EXPECT_EQ(dynamic.NumButterflies(), CountTotalButterflies(seed));
+    // Seed edges keep their CSR EdgeIds as slot ids.
+    const std::vector<SupportT> sup = CountEdgeSupports(seed);
+    for (EdgeId e = 0; e < seed.NumEdges(); ++e) {
+      ASSERT_TRUE(dynamic.IsLive(e));
+      EXPECT_EQ(dynamic.EdgeUpper(e), seed.EdgeUpper(e));
+      EXPECT_EQ(dynamic.EdgeLower(e), seed.EdgeLower(e));
+      ASSERT_EQ(dynamic.Support(e), sup[e]) << "edge " << e;
+    }
+  }
+}
+
+TEST(DynamicGraph, HandComputedButterflyDeltas) {
+  // Path u0 - l0 - u1 - l1: no butterflies.  Inserting (u0, l1) closes
+  // K(2,2); every edge then has support 1.  Deleting it restores zero.
+  const BipartiteGraph seed(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  DynamicBipartiteGraph dynamic(seed);
+  EXPECT_EQ(dynamic.NumButterflies(), 0u);
+
+  auto closing = dynamic.InsertEdge(0, 1);
+  ASSERT_TRUE(closing.ok());
+  EXPECT_EQ(dynamic.NumEdges(), 4u);
+  EXPECT_EQ(dynamic.NumButterflies(), 1u);
+  for (EdgeId e = 0; e < 4; ++e) EXPECT_EQ(dynamic.Support(e), 1u);
+
+  ASSERT_TRUE(dynamic.DeleteEdge(closing.value()).ok());
+  EXPECT_EQ(dynamic.NumEdges(), 3u);
+  EXPECT_EQ(dynamic.NumButterflies(), 0u);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(dynamic.Support(e), 0u);
+}
+
+TEST(DynamicGraph, RandomStreamMaintainsExactSupports) {
+  for (const char* name : {"Writer", "Github", "D-style"}) {
+    SCOPED_TRACE(name);
+    DynamicBipartiteGraph dynamic(MakeDataset(name, 0.02));
+    RunMixedStream(dynamic, /*updates=*/300, /*verify_every=*/50,
+                   HashString64(name));
+  }
+}
+
+TEST(DynamicGraph, SnapshotDecomposeMatchesStaticBuild) {
+  DynamicBipartiteGraph dynamic(
+      GenerateUniformBipartite(40, 30, 220, /*seed=*/11));
+  RunMixedStream(dynamic, /*updates=*/200, /*verify_every=*/100, 42);
+
+  // Rebuild the surviving edge list straight from the live slots and
+  // construct a static graph the way a from-scratch caller would.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (EdgeId e = 0; e < dynamic.NumSlots(); ++e) {
+    if (dynamic.IsLive(e)) {
+      pairs.emplace_back(dynamic.EdgeUpper(e),
+                         dynamic.EdgeLower(e) - dynamic.NumUpper());
+    }
+  }
+  const BipartiteGraph static_graph(dynamic.NumUpper(), dynamic.NumLower(),
+                                    std::move(pairs));
+
+  const GraphSnapshot snapshot = dynamic.Snapshot();
+  ASSERT_EQ(snapshot.graph.NumEdges(), static_graph.NumEdges());
+  ASSERT_EQ(snapshot.graph.EdgeList(), static_graph.EdgeList());
+  // The stable mapping points each snapshot edge back at its slot.
+  for (EdgeId e = 0; e < snapshot.graph.NumEdges(); ++e) {
+    const EdgeId slot = snapshot.slot_of_edge[e];
+    ASSERT_TRUE(dynamic.IsLive(slot));
+    EXPECT_EQ(snapshot.graph.EdgeUpper(e), dynamic.EdgeUpper(slot));
+    EXPECT_EQ(snapshot.graph.EdgeLower(e), dynamic.EdgeLower(slot));
+    EXPECT_EQ(snapshot.supports[e], dynamic.Support(slot));
+  }
+
+  EXPECT_EQ(Decompose(snapshot.graph).phi, Decompose(static_graph).phi);
+}
+
+TEST(DynamicGraph, DuplicateInsertAndMissingDeleteFail) {
+  DynamicBipartiteGraph dynamic(BipartiteGraph(3, 3, {{0, 0}, {1, 1}}));
+  const EdgeId live = dynamic.NumEdges();
+
+  auto duplicate = dynamic.InsertEdge(0, 0);
+  EXPECT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_THROW(duplicate.value(), std::logic_error);
+
+  auto out_of_range = dynamic.InsertEdge(3, 0);
+  EXPECT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dynamic.InsertEdge(0, 9).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(dynamic.DeleteEdge(17).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(dynamic.DeleteEdge(0).ok());
+  EXPECT_EQ(dynamic.DeleteEdge(0).code(), StatusCode::kNotFound);  // double
+
+  // Failed operations leave the graph untouched (one successful delete).
+  EXPECT_EQ(dynamic.NumEdges(), live - 1);
+}
+
+TEST(DynamicGraph, FreedSlotsAreReused) {
+  DynamicBipartiteGraph dynamic(BipartiteGraph(4, 4, {{0, 0}, {1, 1}, {2, 2}}));
+  ASSERT_TRUE(dynamic.DeleteEdge(1).ok());
+  EXPECT_FALSE(dynamic.IsLive(1));
+  auto reinserted = dynamic.InsertEdge(3, 3);
+  ASSERT_TRUE(reinserted.ok());
+  EXPECT_EQ(reinserted.value(), 1u);  // free list before slot growth
+  EXPECT_TRUE(dynamic.IsLive(1));
+  EXPECT_EQ(dynamic.NumSlots(), 3u);
+  EXPECT_EQ(dynamic.FindEdge(3, dynamic.NumUpper() + 3), 1u);
+  EXPECT_EQ(dynamic.FindEdge(1, dynamic.NumUpper() + 1), kInvalidEdge);
+}
+
+TEST(DynamicGraph, EmptySeed) {
+  DynamicBipartiteGraph dynamic(BipartiteGraph(0, 0, {}));
+  EXPECT_EQ(dynamic.NumEdges(), 0u);
+  EXPECT_EQ(dynamic.NumButterflies(), 0u);
+  EXPECT_EQ(dynamic.InsertEdge(0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dynamic.Snapshot().graph.NumEdges(), 0u);
+  EXPECT_GT(dynamic.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace bitruss

@@ -1,0 +1,64 @@
+// Unit tests for the minimal Status / StatusOr in util/status.h.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/status.h"
+
+namespace bitruss {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, OkStatus());
+}
+
+TEST(Status, ErrorHelpersCarryCodeAndMessage) {
+  const Status s = NotFoundError("no such edge");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such edge");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such edge");
+  EXPECT_NE(s, AlreadyExistsError("no such edge"));
+  EXPECT_NE(s, NotFoundError("other"));
+
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.status(), OkStatus());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  result.value() = 7;
+  EXPECT_EQ(result.value(), 7);
+}
+
+TEST(StatusOr, HoldsError) {
+  const StatusOr<std::string> result(NotFoundError("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(result.value(), std::logic_error);
+}
+
+TEST(StatusOr, RejectsOkStatusWithoutValue) {
+  EXPECT_THROW(StatusOr<int>{OkStatus()}, std::logic_error);
+}
+
+TEST(StatusOr, MovesValueOut) {
+  StatusOr<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace bitruss
