@@ -24,7 +24,7 @@ int main() {
 
   TablePrinter table({"Dataset", "|E|", "pruned", "pruned %", "plain (s)",
                       "pruned (s)", "speedup", "phi match"});
-  for (const char* name : {"Condmat", "DBPedia", "Github", "Twitter",
+  for (const char* name : {"Writer", "Location", "Github", "Twitter",
                            "D-label", "D-style", "Amazon", "DBLP"}) {
     const BipartiteGraph& g = BenchDataset(name);
 

@@ -1,0 +1,219 @@
+#include "cohesion/ab_core.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "graph/subgraph.h"
+
+namespace bitruss {
+
+namespace {
+
+// beta_out[v] = largest beta such that v is in the (alpha, beta)-core
+// (0 when v is outside even the (alpha, 1)-core).  Returns false when the
+// (alpha, 1)-core is empty.  Bucket peel over lower-side degrees; removing
+// a lower vertex cascades into upper vertices whose degree drops below
+// alpha, which in turn lowers other lower-side degrees.
+bool BetaPeel(const BipartiteGraph& g, VertexId alpha,
+              std::vector<VertexId>* beta_out) {
+  const VertexId n = g.NumVertices();
+  beta_out->assign(n, 0);
+  std::vector<std::uint8_t> alive = ComputeABCore(g, alpha, 1);
+
+  std::vector<VertexId> deg(n, 0);
+  VertexId remaining_lower = 0;
+  VertexId max_lower_deg = 0;
+  bool any_alive = false;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    any_alive = true;
+    VertexId d = 0;
+    for (const auto& entry : g.Neighbors(v)) d += alive[entry.neighbor];
+    deg[v] = d;
+    if (!g.IsUpper(v)) {
+      ++remaining_lower;
+      max_lower_deg = std::max(max_lower_deg, d);
+    }
+  }
+  if (!any_alive) return false;
+
+  // bucket[d] holds lower vertices whose degree was d at push time; a
+  // vertex is re-pushed on every decrement, so its entry at the current
+  // degree always exists and stale entries are skipped at pop.
+  std::vector<std::vector<VertexId>> bucket(max_lower_deg + 1);
+  for (VertexId v = g.NumUpper(); v < n; ++v) {
+    if (alive[v]) bucket[deg[v]].push_back(v);
+  }
+
+  std::vector<VertexId> stack;
+  for (VertexId b = 1; remaining_lower > 0; ++b) {
+    // Only bucket[b - 1] can be non-empty here: lower-indexed buckets were
+    // drained at earlier levels, and refills always land at an index >= the
+    // level in progress (decrements below it go straight to the stack).
+    stack.clear();
+    if (b - 1 < static_cast<VertexId>(bucket.size())) bucket[b - 1].swap(stack);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      if (!alive[v] || deg[v] >= b) continue;
+      alive[v] = 0;
+      (*beta_out)[v] = b - 1;
+      --remaining_lower;
+      for (const auto& ve : g.Neighbors(v)) {
+        const VertexId u = ve.neighbor;
+        if (!alive[u]) continue;
+        if (--deg[u] >= alpha) continue;
+        alive[u] = 0;
+        (*beta_out)[u] = b - 1;
+        for (const auto& ue : g.Neighbors(u)) {
+          const VertexId l = ue.neighbor;
+          if (!alive[l]) continue;
+          if (--deg[l] < b) {
+            stack.push_back(l);
+          } else {
+            bucket[deg[l]].push_back(l);
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// keep[e] != 0 iff both endpoints of e are in the (alpha, beta)-core; the
+// core is vertex-induced, so that is exactly edge membership.
+std::vector<std::uint8_t> CoreEdgeMask(const BipartiteGraph& g, VertexId alpha,
+                                       VertexId beta, EdgeId* kept) {
+  const std::vector<std::uint8_t> in_core = ComputeABCore(g, alpha, beta);
+  std::vector<std::uint8_t> keep(g.NumEdges(), 0);
+  *kept = 0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (in_core[g.EdgeUpper(e)] && in_core[g.EdgeLower(e)]) {
+      keep[e] = 1;
+      ++*kept;
+    }
+  }
+  return keep;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ComputeABCore(const BipartiteGraph& g, VertexId alpha,
+                                        VertexId beta) {
+  const VertexId n = g.NumVertices();
+  std::vector<std::uint8_t> alive(n, 1);
+  std::vector<VertexId> deg(n);
+  std::vector<VertexId> stack;
+  const auto threshold = [&](VertexId v) { return g.IsUpper(v) ? alpha : beta; };
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.Degree(v);
+    if (deg[v] < threshold(v)) {
+      alive[v] = 0;
+      stack.push_back(v);
+    }
+  }
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const auto& entry : g.Neighbors(v)) {
+      const VertexId w = entry.neighbor;
+      if (!alive[w]) continue;
+      if (--deg[w] < threshold(w)) {
+        alive[w] = 0;
+        stack.push_back(w);
+      }
+    }
+  }
+  return alive;
+}
+
+ABCoreResult ABCoreDecomposition(const BipartiteGraph& g) {
+  ABCoreResult result;
+  const VertexId n = g.NumVertices();
+  result.skyline.resize(n);
+
+  std::vector<VertexId> prev;
+  std::vector<VertexId> cur;
+  VertexId alpha = 1;
+  for (;; ++alpha) {
+    if (!BetaPeel(g, alpha, &cur)) break;
+    if (alpha == 1) {
+      for (VertexId v = 0; v < n; ++v) {
+        result.max_beta = std::max(result.max_beta, cur[v]);
+      }
+    } else {
+      // beta_alpha(v) is non-increasing in alpha; a pair is maximal exactly
+      // where the next alpha's beta strictly drops.
+      for (VertexId v = 0; v < n; ++v) {
+        if (prev[v] > cur[v]) result.skyline[v].push_back({alpha - 1, prev[v]});
+      }
+    }
+    prev.swap(cur);
+  }
+  result.max_alpha = alpha - 1;
+  if (result.max_alpha > 0) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (prev[v] > 0) result.skyline[v].push_back({result.max_alpha, prev[v]});
+    }
+  }
+  return result;
+}
+
+bool InABCore(const ABCoreResult& result, VertexId v, VertexId alpha,
+              VertexId beta) {
+  for (const CorePair& pair : result.skyline[v]) {
+    // First pair with pair.alpha >= alpha has the largest beta among them.
+    if (pair.alpha >= alpha) return pair.beta >= beta;
+  }
+  return false;
+}
+
+StatusOr<ABCorePruneResult> PruneToABCore(const BipartiteGraph& g,
+                                          VertexId alpha, VertexId beta) {
+  if (alpha < 1 || beta < 1) {
+    return InvalidArgumentError(
+        "PruneToABCore: alpha and beta must be >= 1 (got alpha=" +
+        std::to_string(alpha) + ", beta=" + std::to_string(beta) + ")");
+  }
+  ABCorePruneResult out;
+  EdgeId kept = 0;
+  const std::vector<std::uint8_t> keep = CoreEdgeMask(g, alpha, beta, &kept);
+  out.pruned_edges = g.NumEdges() - kept;
+  out.graph = EdgeMaskSubgraph(g, keep, &out.edge_origin);
+  return out;
+}
+
+BitrussResult DecomposeWithCorePruning(const BipartiteGraph& g,
+                                       const DecomposeOptions& options) {
+  EdgeId kept = 0;
+  std::vector<std::uint8_t> keep;
+  if (g.NumEdges() > 0) keep = CoreEdgeMask(g, 2, 2, &kept);
+  // Fast path: nothing to prune — no subgraph build, no scatter-back.
+  if (kept == g.NumEdges()) return Decompose(g, options);
+
+  std::vector<EdgeId> edge_origin;
+  const BipartiteGraph core = EdgeMaskSubgraph(g, keep, &edge_origin);
+  BitrussResult inner = Decompose(core, options);
+  BitrussResult result;
+  result.phi.assign(g.NumEdges(), 0);
+  result.original_support.assign(g.NumEdges(), 0);
+  for (EdgeId e = 0; e < core.NumEdges(); ++e) {
+    result.phi[edge_origin[e]] = inner.phi[e];
+    result.original_support[edge_origin[e]] = inner.original_support[e];
+  }
+  result.total_butterflies = inner.total_butterflies;
+  result.timed_out = inner.timed_out;
+  result.counters = std::move(inner.counters);
+  result.pc_trace = std::move(inner.pc_trace);
+  if (!result.counters.per_edge_updates.empty()) {
+    std::vector<std::uint64_t> scattered(g.NumEdges(), 0);
+    for (EdgeId e = 0; e < core.NumEdges(); ++e) {
+      scattered[edge_origin[e]] = result.counters.per_edge_updates[e];
+    }
+    result.counters.per_edge_updates = std::move(scattered);
+  }
+  return result;
+}
+
+}  // namespace bitruss

@@ -1,0 +1,85 @@
+// (alpha,beta)-core decomposition and exact pre-pruning for bitruss.
+//
+// The (alpha,beta)-core of a bipartite graph is the maximal subgraph in
+// which every upper vertex has degree >= alpha and every lower vertex has
+// degree >= beta.  A butterfly is itself a subgraph whose four vertices all
+// have internal degree 2, so every butterfly — and hence every k-bitruss
+// with k >= 1 — lies inside the (2,2)-core.  Pruning to it before counting
+// and index construction is therefore exact (ref [20]): supports, total
+// butterfly count, and bitruss numbers of surviving edges are unchanged,
+// and pruned edges have phi = 0 by definition.
+
+#ifndef BITRUSS_COHESION_AB_CORE_H_
+#define BITRUSS_COHESION_AB_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decompose.h"
+#include "graph/bipartite_graph.h"
+#include "util/status.h"
+
+namespace bitruss {
+
+/// One maximal (alpha, beta) membership pair of a vertex.
+struct CorePair {
+  VertexId alpha = 0;
+  VertexId beta = 0;
+};
+
+/// Full decomposition output: per-vertex skyline of maximal core pairs.
+struct ABCoreResult {
+  /// skyline[v] (global vertex id) lists the maximal (alpha, beta) pairs of
+  /// v, alpha strictly increasing and beta strictly decreasing; v belongs
+  /// to the (a, b)-core (a, b >= 1) iff some pair has alpha >= a and
+  /// beta >= b.  Vertices outside even the (1,1)-core have empty skylines.
+  std::vector<std::vector<CorePair>> skyline;
+  VertexId max_alpha = 0;  ///< largest alpha with a non-empty (alpha,1)-core
+  VertexId max_beta = 0;   ///< largest beta with a non-empty (1,beta)-core
+};
+
+/// Per-vertex coreness pairs via bucket peeling: one beta-peel over the
+/// lower side (with upper-side alpha cascade) per alpha in [1, max_alpha].
+/// O(max_alpha * |E|).
+ABCoreResult ABCoreDecomposition(const BipartiteGraph& g);
+
+/// True iff v belongs to the (alpha, beta)-core per `result`; alpha and
+/// beta must be >= 1.
+bool InABCore(const ABCoreResult& result, VertexId v, VertexId alpha,
+              VertexId beta);
+
+/// Membership extraction for one (alpha, beta): keep[v] != 0 (global vertex
+/// id) iff v is in the (alpha, beta)-core.  A value of 0 makes the side's
+/// constraint vacuous.  Single delete-to-fixpoint peel, O(|E|).
+std::vector<std::uint8_t> ComputeABCore(const BipartiteGraph& g, VertexId alpha,
+                                        VertexId beta);
+
+/// PruneToABCore output: the core's edges as a standalone graph (vertex ids
+/// preserved, edge ids compacted in lexicographic endpoint order, matching
+/// EdgeMaskSubgraph) plus the surviving-edge mapping back to g.
+struct ABCorePruneResult {
+  BipartiteGraph graph;
+  /// For each edge of `graph` in EdgeId order, the originating EdgeId in g.
+  std::vector<EdgeId> edge_origin;
+  /// Number of edges of g outside the (alpha, beta)-core.
+  EdgeId pruned_edges = 0;
+};
+
+/// Compacts g to its (alpha, beta)-core.  alpha and beta must be >= 1
+/// (kInvalidArgument otherwise — a 0 threshold prunes nothing on that side
+/// and callers asking for it are holding the API wrong).  An edgeless g is
+/// valid and yields an empty, zero-pruned result.
+StatusOr<ABCorePruneResult> PruneToABCore(const BipartiteGraph& g,
+                                          VertexId alpha, VertexId beta);
+
+/// Decompose(g, options) behind an exact (2,2)-core pre-prune: runs the
+/// decomposition on the compacted core and scatters phi / supports back to
+/// g's edge ids (pruned edges read 0).  Bit-identical to the plain run;
+/// when the prune removes nothing it skips reconstruction and delegates to
+/// Decompose(g, options) directly.
+BitrussResult DecomposeWithCorePruning(const BipartiteGraph& g,
+                                       const DecomposeOptions& options = {});
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_COHESION_AB_CORE_H_

@@ -1,0 +1,93 @@
+#include "cohesion/tip_decomposition.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <utility>
+
+namespace bitruss {
+
+namespace {
+
+// Accumulates, for one side vertex u, the number of common neighbors c with
+// every other alive vertex w of the same side (a wedge count per co-vertex
+// pair), then hands each (w, c) to `apply`.  pair_count is a dense scratch
+// array over side-local ids, zeroed again before returning.
+template <typename Fn>
+void ForEachCoVertex(const BipartiteGraph& g, VertexId u, VertexId num_upper,
+                     bool peel_upper, const std::vector<std::uint8_t>& removed,
+                     std::vector<std::uint64_t>* pair_count,
+                     std::vector<VertexId>* touched, Fn apply) {
+  touched->clear();
+  for (const auto& mid : g.Neighbors(u)) {
+    for (const auto& far : g.Neighbors(mid.neighbor)) {
+      const VertexId w = far.neighbor;
+      if (w == u) continue;
+      const VertexId j = peel_upper ? w : w - num_upper;
+      if (removed[j]) continue;
+      if ((*pair_count)[j]++ == 0) touched->push_back(j);
+    }
+  }
+  for (const VertexId j : *touched) {
+    const std::uint64_t c = (*pair_count)[j];
+    (*pair_count)[j] = 0;
+    apply(j, c);
+  }
+}
+
+}  // namespace
+
+TipResult TipDecomposition(const BipartiteGraph& g, bool peel_upper) {
+  const VertexId num_upper = g.NumUpper();
+  const VertexId num_side = peel_upper ? num_upper : g.NumLower();
+  const auto global = [&](VertexId i) {
+    return peel_upper ? i : num_upper + i;
+  };
+
+  TipResult result;
+  result.theta.assign(num_side, 0);
+  if (num_side == 0) return result;
+
+  std::vector<std::uint8_t> removed(num_side, 0);
+  std::vector<std::uint64_t> count(num_side, 0);
+  std::vector<std::uint64_t> pair_count(num_side, 0);
+  std::vector<VertexId> touched;
+
+  // Initial butterfly counts: a co-vertex pair with c common neighbors
+  // contributes C(c, 2) butterflies to both endpoints.
+  for (VertexId i = 0; i < num_side; ++i) {
+    std::uint64_t butterflies = 0;
+    ForEachCoVertex(g, global(i), num_upper, peel_upper, removed, &pair_count,
+                    &touched, [&](VertexId, std::uint64_t c) {
+                      butterflies += c * (c - 1) / 2;
+                    });
+    count[i] = butterflies;
+  }
+
+  // Min-first peel with a lazy priority queue: stale entries (count changed
+  // since push) are skipped at pop; every count update re-pushes.
+  using Entry = std::pair<std::uint64_t, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (VertexId i = 0; i < num_side; ++i) queue.push({count[i], i});
+
+  std::uint64_t level = 0;
+  while (!queue.empty()) {
+    const auto [c, i] = queue.top();
+    queue.pop();
+    if (removed[i] || c != count[i]) continue;
+    level = std::max(level, c);
+    result.theta[i] = level;
+    removed[i] = 1;
+    ForEachCoVertex(g, global(i), num_upper, peel_upper, removed, &pair_count,
+                    &touched, [&](VertexId j, std::uint64_t cj) {
+                      if (cj < 2) return;  // no butterfly through the pair
+                      count[j] -= cj * (cj - 1) / 2;
+                      ++result.count_updates;
+                      queue.push({count[j], j});
+                    });
+  }
+  result.max_tip = level;
+  return result;
+}
+
+}  // namespace bitruss

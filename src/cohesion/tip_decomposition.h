@@ -1,0 +1,41 @@
+// Tip (vertex-granularity) decomposition — the paper's ref [5] baseline
+// hierarchy (Sariyuce & Pinar, also RECEIPT's sequential kernel).
+//
+// The k-tip of one side of a bipartite graph is the maximal subgraph in
+// which every vertex of that side participates in at least k butterflies;
+// the tip number theta(v) is the largest k whose k-tip contains v.  Peeling
+// removes the minimum-count vertex and, for each surviving co-vertex w that
+// shared c >= 2 common neighbors with it, applies one count update of
+// C(c, 2) — one update per co-vertex pair instead of one per affected edge,
+// the coarser/cheaper granularity the edge-level bitruss hierarchy refines.
+
+#ifndef BITRUSS_COHESION_TIP_DECOMPOSITION_H_
+#define BITRUSS_COHESION_TIP_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace bitruss {
+
+struct TipResult {
+  /// theta per vertex of the peeled side, indexed by side-local id (upper
+  /// ids when peel_upper, lower-local ids otherwise).
+  std::vector<std::uint64_t> theta;
+  /// Largest theta — the deepest non-empty k-tip.
+  std::uint64_t max_tip = 0;
+  /// Butterfly-count updates applied during peeling, one per (removed
+  /// vertex, surviving co-vertex) pair with a non-zero delta; the work
+  /// metric the granularity ablation compares against phi updates.
+  std::uint64_t count_updates = 0;
+};
+
+/// Tip decomposition of one side of g.  Initial per-vertex butterfly counts
+/// by wedge aggregation, then min-first peeling (lazy priority queue; counts
+/// are 64-bit, so degree-style dense buckets do not apply).
+TipResult TipDecomposition(const BipartiteGraph& g, bool peel_upper);
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_COHESION_TIP_DECOMPOSITION_H_

@@ -13,6 +13,9 @@
 //               phi for edges whose peel level reaches theta — Section V-C.
 //               `tau` sets the fraction of edges targeted per round
 //               (tau = 1 degenerates to a single full round).
+//
+// cohesion/ab_core.h wraps this entry point as DecomposeWithCorePruning():
+// an exact (2,2)-core pre-prune in front of any of the variants above.
 
 #ifndef BITRUSS_CORE_DECOMPOSE_H_
 #define BITRUSS_CORE_DECOMPOSE_H_

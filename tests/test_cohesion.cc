@@ -1,0 +1,317 @@
+// Cohesion subsystem tests: brute-force (alpha,beta)-core and tip-number
+// oracles (definition-level, sharing no code with the library's peelers)
+// against the bucket/min-first implementations, phi equality of the plain
+// and core-pruned decompositions, and the PruneToABCore status contracts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cohesion/ab_core.h"
+#include "cohesion/tip_decomposition.h"
+#include "core/decompose.h"
+#include "gen/chung_lu.h"
+#include "gen/random_bipartite.h"
+#include "graph/bipartite_graph.h"
+
+namespace bitruss {
+namespace {
+
+// Iterated delete-below-threshold to fixpoint, recomputing degrees from
+// scratch each sweep.
+std::vector<std::uint8_t> OracleABCore(const BipartiteGraph& g, VertexId alpha,
+                                       VertexId beta) {
+  const VertexId n = g.NumVertices();
+  std::vector<std::uint8_t> alive(n, 1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<VertexId> deg(n, 0);
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      if (alive[g.EdgeUpper(e)] && alive[g.EdgeLower(e)]) {
+        ++deg[g.EdgeUpper(e)];
+        ++deg[g.EdgeLower(e)];
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v] && deg[v] < (g.IsUpper(v) ? alpha : beta)) {
+        alive[v] = 0;
+        changed = true;
+      }
+    }
+  }
+  return alive;
+}
+
+// Butterflies containing side vertex u among the alive side vertices: each
+// surviving co-vertex w with c common neighbors contributes C(c, 2).
+std::uint64_t OracleVertexButterflies(const BipartiteGraph& g, VertexId u,
+                                      const std::vector<std::uint8_t>& alive,
+                                      VertexId num_upper, bool peel_upper) {
+  std::set<VertexId> mine;
+  for (const auto& entry : g.Neighbors(u)) mine.insert(entry.neighbor);
+  std::set<VertexId> seen;
+  std::uint64_t total = 0;
+  for (const auto& mid : g.Neighbors(u)) {
+    for (const auto& far : g.Neighbors(mid.neighbor)) {
+      const VertexId w = far.neighbor;
+      if (w == u || !alive[peel_upper ? w : w - num_upper]) continue;
+      if (!seen.insert(w).second) continue;
+      std::uint64_t common = 0;
+      for (const auto& other : g.Neighbors(w)) common += mine.count(other.neighbor);
+      total += common * (common - 1) / 2;
+    }
+  }
+  return total;
+}
+
+// Definition-level tip peel: full butterfly recount per round, remove the
+// minimum (lowest id on ties; theta is canonical, so ties do not matter).
+std::vector<std::uint64_t> OracleTip(const BipartiteGraph& g, bool peel_upper) {
+  const VertexId num_upper = g.NumUpper();
+  const VertexId num_side = peel_upper ? num_upper : g.NumLower();
+  std::vector<std::uint8_t> alive(num_side, 1);
+  std::vector<std::uint64_t> theta(num_side, 0);
+  std::uint64_t level = 0;
+  for (VertexId round = 0; round < num_side; ++round) {
+    VertexId argmin = kInvalidVertex;
+    std::uint64_t best = 0;
+    for (VertexId i = 0; i < num_side; ++i) {
+      if (!alive[i]) continue;
+      const std::uint64_t c = OracleVertexButterflies(
+          g, peel_upper ? i : num_upper + i, alive, num_upper, peel_upper);
+      if (argmin == kInvalidVertex || c < best) {
+        argmin = i;
+        best = c;
+      }
+    }
+    level = std::max(level, best);
+    theta[argmin] = level;
+    alive[argmin] = 0;
+  }
+  return theta;
+}
+
+struct Case {
+  std::string name;
+  BipartiteGraph graph;
+};
+
+std::vector<Case> CohesionCases() {
+  std::vector<Case> cases;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const VertexId nu = 4 + static_cast<VertexId>(seed % 6);
+    const VertexId nl = 3 + static_cast<VertexId>((3 * seed) % 7);
+    const EdgeId m = static_cast<EdgeId>(18 + 12 * (seed % 8));
+    cases.push_back({"uniform_seed" + std::to_string(seed),
+                     GenerateUniformBipartite(nu, nl, m, seed)});
+  }
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ChungLuParams params;
+    params.num_upper = 6 + static_cast<VertexId>(seed % 5);
+    params.num_lower = 5 + static_cast<VertexId>((2 * seed) % 6);
+    params.num_edges = static_cast<EdgeId>(30 + 14 * (seed % 7));
+    params.upper_exponent = 0.6 + 0.04 * static_cast<double>(seed % 4);
+    params.lower_exponent = 0.8;
+    params.seed = 900 + seed;
+    cases.push_back(
+        {"chunglu_seed" + std::to_string(seed), GenerateChungLu(params)});
+  }
+  return cases;
+}
+
+TEST(ABCore, MembershipMatchesFixpointOracleAcrossThresholds) {
+  for (const Case& test_case : CohesionCases()) {
+    for (VertexId alpha = 1; alpha <= 5; ++alpha) {
+      for (VertexId beta = 1; beta <= 5; ++beta) {
+        EXPECT_EQ(ComputeABCore(test_case.graph, alpha, beta),
+                  OracleABCore(test_case.graph, alpha, beta))
+            << test_case.name << " alpha=" << alpha << " beta=" << beta;
+      }
+    }
+  }
+}
+
+TEST(ABCore, ZeroThresholdsAreVacuous) {
+  const BipartiteGraph g = GenerateUniformBipartite(6, 5, 12, 7);
+  const std::vector<std::uint8_t> all(g.NumVertices(), 1);
+  EXPECT_EQ(ComputeABCore(g, 0, 0), all);
+}
+
+TEST(ABCore, DecompositionSkylineAgreesWithDirectMembership) {
+  for (const Case& test_case : CohesionCases()) {
+    const BipartiteGraph& g = test_case.graph;
+    const ABCoreResult result = ABCoreDecomposition(g);
+    ASSERT_EQ(result.skyline.size(), g.NumVertices()) << test_case.name;
+    // One past the maxima on both axes to cover the empty-core boundary.
+    for (VertexId alpha = 1; alpha <= result.max_alpha + 1; ++alpha) {
+      for (VertexId beta = 1; beta <= result.max_beta + 1; ++beta) {
+        const std::vector<std::uint8_t> oracle = OracleABCore(g, alpha, beta);
+        for (VertexId v = 0; v < g.NumVertices(); ++v) {
+          EXPECT_EQ(InABCore(result, v, alpha, beta), oracle[v] != 0)
+              << test_case.name << " v=" << v << " alpha=" << alpha
+              << " beta=" << beta;
+        }
+      }
+    }
+    // Skyline shape contract: alpha strictly increasing, beta strictly
+    // decreasing.
+    for (const auto& skyline : result.skyline) {
+      for (std::size_t i = 1; i < skyline.size(); ++i) {
+        EXPECT_GT(skyline[i].alpha, skyline[i - 1].alpha) << test_case.name;
+        EXPECT_LT(skyline[i].beta, skyline[i - 1].beta) << test_case.name;
+      }
+    }
+  }
+}
+
+TEST(ABCore, CompleteBipartiteGraphIsItsOwnDeepCore) {
+  // K(2,3): every vertex is in the (alpha, beta)-core iff alpha <= 2 on the
+  // constraint side sense — the whole graph survives up to (3, 2).
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 2; ++u) {
+    for (VertexId l = 0; l < 3; ++l) edges.emplace_back(u, l);
+  }
+  const BipartiteGraph g(2, 3, edges);
+  const ABCoreResult result = ABCoreDecomposition(g);
+  EXPECT_EQ(result.max_alpha, 3u);
+  EXPECT_EQ(result.max_beta, 2u);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(result.skyline[v].size(), 1u);
+    EXPECT_EQ(result.skyline[v][0].alpha, 3u);
+    EXPECT_EQ(result.skyline[v][0].beta, 2u);
+  }
+}
+
+TEST(TipDecomposition, MatchesRecountOracleOnBothSides) {
+  for (const Case& test_case : CohesionCases()) {
+    for (const bool peel_upper : {true, false}) {
+      const TipResult result = TipDecomposition(test_case.graph, peel_upper);
+      const std::vector<std::uint64_t> oracle =
+          OracleTip(test_case.graph, peel_upper);
+      EXPECT_EQ(result.theta, oracle)
+          << test_case.name << " peel_upper=" << peel_upper;
+      const std::uint64_t expected_max =
+          oracle.empty() ? 0 : *std::max_element(oracle.begin(), oracle.end());
+      EXPECT_EQ(result.max_tip, expected_max) << test_case.name;
+    }
+  }
+}
+
+TEST(TipDecomposition, CompleteBipartiteGraphTipNumbers) {
+  // K(2,3): 3 butterflies total; each upper is in all 3, each lower in 2.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 2; ++u) {
+    for (VertexId l = 0; l < 3; ++l) edges.emplace_back(u, l);
+  }
+  const BipartiteGraph g(2, 3, edges);
+  const TipResult upper = TipDecomposition(g, /*peel_upper=*/true);
+  EXPECT_EQ(upper.theta, (std::vector<std::uint64_t>{3, 3}));
+  EXPECT_EQ(upper.max_tip, 3u);
+  const TipResult lower = TipDecomposition(g, /*peel_upper=*/false);
+  EXPECT_EQ(lower.theta, (std::vector<std::uint64_t>{2, 2, 2}));
+  EXPECT_EQ(lower.max_tip, 2u);
+  EXPECT_GT(upper.count_updates, 0u);
+}
+
+TEST(CorePruning, DecomposeWithCorePruningIsBitIdentical) {
+  for (const Case& test_case : CohesionCases()) {
+    const BitrussResult plain = Decompose(test_case.graph);
+    const BitrussResult pruned = DecomposeWithCorePruning(test_case.graph);
+    EXPECT_EQ(plain.phi, pruned.phi) << test_case.name;
+    EXPECT_EQ(plain.original_support, pruned.original_support)
+        << test_case.name;
+    EXPECT_EQ(plain.total_butterflies, pruned.total_butterflies)
+        << test_case.name;
+  }
+}
+
+TEST(CorePruning, BitIdenticalUnderOtherAlgorithmsToo) {
+  const BipartiteGraph g = GenerateUniformBipartite(9, 8, 55, 41);
+  for (const Algorithm algorithm :
+       {Algorithm::kBS, Algorithm::kBU, Algorithm::kPC}) {
+    DecomposeOptions options;
+    options.algorithm = algorithm;
+    const BitrussResult plain = Decompose(g, options);
+    const BitrussResult pruned = DecomposeWithCorePruning(g, options);
+    EXPECT_EQ(plain.phi, pruned.phi);
+  }
+}
+
+TEST(CorePruning, PendantEdgesArePrunedExactly) {
+  // K(2,3) plus a pendant lower vertex: the pendant edge is outside the
+  // (2,2)-core and must come back with phi = 0 and support 0.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 2; ++u) {
+    for (VertexId l = 0; l < 3; ++l) edges.emplace_back(u, l);
+  }
+  edges.emplace_back(0, 3);
+  const BipartiteGraph g(2, 4, edges);
+
+  const StatusOr<ABCorePruneResult> pruned = PruneToABCore(g, 2, 2);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned.value().pruned_edges, 1u);
+  EXPECT_EQ(pruned.value().graph.NumEdges(), g.NumEdges() - 1);
+  EXPECT_EQ(pruned.value().edge_origin.size(), g.NumEdges() - 1);
+
+  const BitrussResult plain = Decompose(g);
+  const BitrussResult via_core = DecomposeWithCorePruning(g);
+  EXPECT_EQ(plain.phi, via_core.phi);
+  EXPECT_EQ(plain.original_support, via_core.original_support);
+}
+
+TEST(CorePruning, FastPathWhenNothingPrunes) {
+  // K(3,3) is its own (2,2)-core; the prune removes zero edges and the
+  // fast path must still produce the plain result.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId l = 0; l < 3; ++l) edges.emplace_back(u, l);
+  }
+  const BipartiteGraph g(3, 3, edges);
+  const StatusOr<ABCorePruneResult> pruned = PruneToABCore(g, 2, 2);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned.value().pruned_edges, 0u);
+  const BitrussResult plain = Decompose(g);
+  const BitrussResult via_core = DecomposeWithCorePruning(g);
+  EXPECT_EQ(plain.phi, via_core.phi);
+  EXPECT_EQ(plain.original_support, via_core.original_support);
+}
+
+TEST(CorePruning, StatusContracts) {
+  const BipartiteGraph g = GenerateUniformBipartite(5, 5, 10, 3);
+  EXPECT_EQ(PruneToABCore(g, 0, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PruneToABCore(g, 2, 0).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const BipartiteGraph empty(4, 4, {});
+  const StatusOr<ABCorePruneResult> pruned = PruneToABCore(empty, 2, 2);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned.value().pruned_edges, 0u);
+  EXPECT_EQ(pruned.value().graph.NumEdges(), 0u);
+  EXPECT_TRUE(pruned.value().edge_origin.empty());
+}
+
+TEST(CorePruning, EdgeOriginMapsSurvivingEdgesBack) {
+  for (const Case& test_case : CohesionCases()) {
+    const BipartiteGraph& g = test_case.graph;
+    const StatusOr<ABCorePruneResult> pruned = PruneToABCore(g, 2, 2);
+    ASSERT_TRUE(pruned.ok()) << test_case.name;
+    const ABCorePruneResult& core = pruned.value();
+    EXPECT_EQ(core.graph.NumEdges() + core.pruned_edges, g.NumEdges())
+        << test_case.name;
+    for (EdgeId e = 0; e < core.graph.NumEdges(); ++e) {
+      const EdgeId origin = core.edge_origin[e];
+      EXPECT_EQ(core.graph.EdgeUpper(e), g.EdgeUpper(origin))
+          << test_case.name;
+      EXPECT_EQ(core.graph.EdgeLower(e), g.EdgeLower(origin))
+          << test_case.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bitruss
