@@ -103,6 +103,38 @@ void ForEachButterflyThroughEdge(const AdjT& a, VertexId u, VertexId v,
   }
 }
 
+// Delta-enumeration helper shared by the incremental-bitruss repair paths:
+// one ForEachButterflyThroughEdge walk that aggregates, per butterfly
+// through (u, v), the minimum of `label` over its three OTHER edges.
+// Weights are clamped to `cap` (a butterfly whose partners all carry labels
+// above the caller's band contributes exactly like one at the band edge, so
+// clamping keeps the weight histogram small without changing any h-index
+// at or below cap).  When `partners` is non-null the three partner edge
+// ids of every butterfly are appended to it, duplicates included — callers
+// needing a distinct set dedupe with their own stamps.  Returns the number
+// of butterflies enumerated.
+//
+// LabelFn is EdgeId -> SupportT (e.g. maintained supports for an upper
+// bound, or current phi labels for the fixpoint repair).
+template <typename AdjT, typename LabelFn>
+std::uint64_t CollectButterflyWeights(const AdjT& a, VertexId u, VertexId v,
+                                      LabelFn&& label, SupportT cap,
+                                      std::vector<SupportT>* weights,
+                                      std::vector<EdgeId>* partners = nullptr) {
+  std::uint64_t found = 0;
+  ForEachButterflyThroughEdge(a, u, v, [&](EdgeId e1, EdgeId e2, EdgeId e3) {
+    ++found;
+    const SupportT w = std::min({label(e1), label(e2), label(e3), cap});
+    weights->push_back(w);
+    if (partners != nullptr) {
+      partners->push_back(e1);
+      partners->push_back(e2);
+      partners->push_back(e3);
+    }
+  });
+  return found;
+}
+
 }  // namespace bitruss::internal
 
 #endif  // BITRUSS_BUTTERFLY_WEDGE_ENUMERATION_H_

@@ -81,14 +81,26 @@ bool BetaPeel(const BipartiteGraph& g, VertexId alpha,
   return true;
 }
 
+constexpr VertexId kPruneDeadlinePollInterval = 4096;
+
 // keep[e] != 0 iff both endpoints of e are in the (alpha, beta)-core; the
-// core is vertex-induced, so that is exactly edge membership.
+// core is vertex-induced, so that is exactly edge membership.  Deadline
+// polling (optional, as in ComputeABCore) covers the edge scan too.
 std::vector<std::uint8_t> CoreEdgeMask(const BipartiteGraph& g, VertexId alpha,
-                                       VertexId beta, EdgeId* kept) {
-  const std::vector<std::uint8_t> in_core = ComputeABCore(g, alpha, beta);
+                                       VertexId beta, EdgeId* kept,
+                                       const Deadline* deadline = nullptr,
+                                       bool* expired = nullptr) {
   std::vector<std::uint8_t> keep(g.NumEdges(), 0);
   *kept = 0;
+  const std::vector<std::uint8_t> in_core =
+      ComputeABCore(g, alpha, beta, deadline, expired);
+  if (expired != nullptr && *expired) return keep;
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (deadline != nullptr &&
+        (e & (kPruneDeadlinePollInterval - 1)) == 0 && deadline->Expired()) {
+      *expired = true;
+      return keep;
+    }
     if (in_core[g.EdgeUpper(e)] && in_core[g.EdgeLower(e)]) {
       keep[e] = 1;
       ++*kept;
@@ -97,10 +109,24 @@ std::vector<std::uint8_t> CoreEdgeMask(const BipartiteGraph& g, VertexId alpha,
   return keep;
 }
 
+// Partial result for a run whose deadline expired before peeling could
+// start: all-zero phi/supports with timed_out set, matching Decompose()'s
+// partial-result contract.
+BitrussResult TimedOutResult(EdgeId num_edges) {
+  BitrussResult result;
+  result.phi.assign(num_edges, 0);
+  result.original_support.assign(num_edges, 0);
+  result.timed_out = true;
+  return result;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> ComputeABCore(const BipartiteGraph& g, VertexId alpha,
-                                        VertexId beta) {
+                                        VertexId beta,
+                                        const Deadline* deadline,
+                                        bool* expired) {
+  if (expired != nullptr) *expired = false;
   const VertexId n = g.NumVertices();
   std::vector<std::uint8_t> alive(n, 1);
   std::vector<VertexId> deg(n);
@@ -113,9 +139,17 @@ std::vector<std::uint8_t> ComputeABCore(const BipartiteGraph& g, VertexId alpha,
       stack.push_back(v);
     }
   }
+  VertexId since_poll = 0;
   while (!stack.empty()) {
     const VertexId v = stack.back();
     stack.pop_back();
+    if (deadline != nullptr && ++since_poll >= kPruneDeadlinePollInterval) {
+      since_poll = 0;
+      if (deadline->Expired()) {
+        *expired = true;
+        return alive;
+      }
+    }
     for (const auto& entry : g.Neighbors(v)) {
       const VertexId w = entry.neighbor;
       if (!alive[w]) continue;
@@ -186,14 +220,23 @@ StatusOr<ABCorePruneResult> PruneToABCore(const BipartiteGraph& g,
 
 BitrussResult DecomposeWithCorePruning(const BipartiteGraph& g,
                                        const DecomposeOptions& options) {
+  // The deadline covers the whole pipeline: a caller's budget must not be
+  // blown inside the prune pass before peeling even starts, so the
+  // (2,2)-core cascade, the edge scan, and the compaction all poll it.
+  if (options.deadline.Expired()) return TimedOutResult(g.NumEdges());
   EdgeId kept = 0;
   std::vector<std::uint8_t> keep;
-  if (g.NumEdges() > 0) keep = CoreEdgeMask(g, 2, 2, &kept);
+  if (g.NumEdges() > 0) {
+    bool expired = false;
+    keep = CoreEdgeMask(g, 2, 2, &kept, &options.deadline, &expired);
+    if (expired) return TimedOutResult(g.NumEdges());
+  }
   // Fast path: nothing to prune — no subgraph build, no scatter-back.
   if (kept == g.NumEdges()) return Decompose(g, options);
 
   std::vector<EdgeId> edge_origin;
   const BipartiteGraph core = EdgeMaskSubgraph(g, keep, &edge_origin);
+  if (options.deadline.Expired()) return TimedOutResult(g.NumEdges());
   BitrussResult inner = Decompose(core, options);
   BitrussResult result;
   result.phi.assign(g.NumEdges(), 0);

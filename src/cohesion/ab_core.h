@@ -50,9 +50,13 @@ bool InABCore(const ABCoreResult& result, VertexId v, VertexId alpha,
 
 /// Membership extraction for one (alpha, beta): keep[v] != 0 (global vertex
 /// id) iff v is in the (alpha, beta)-core.  A value of 0 makes the side's
-/// constraint vacuous.  Single delete-to-fixpoint peel, O(|E|).
+/// constraint vacuous.  Single delete-to-fixpoint peel, O(|E|).  When
+/// `deadline` is non-null the cascade polls it at coarse granularity and
+/// returns early with *expired set (membership contents then unspecified).
 std::vector<std::uint8_t> ComputeABCore(const BipartiteGraph& g, VertexId alpha,
-                                        VertexId beta);
+                                        VertexId beta,
+                                        const Deadline* deadline = nullptr,
+                                        bool* expired = nullptr);
 
 /// PruneToABCore output: the core's edges as a standalone graph (vertex ids
 /// preserved, edge ids compacted in lexicographic endpoint order, matching
@@ -76,7 +80,9 @@ StatusOr<ABCorePruneResult> PruneToABCore(const BipartiteGraph& g,
 /// decomposition on the compacted core and scatters phi / supports back to
 /// g's edge ids (pruned edges read 0).  Bit-identical to the plain run;
 /// when the prune removes nothing it skips reconstruction and delegates to
-/// Decompose(g, options) directly.
+/// Decompose(g, options) directly.  options.deadline covers the prune pass
+/// too (cascade, edge scan, compaction); an expired run returns the usual
+/// partial result with timed_out set.
 BitrussResult DecomposeWithCorePruning(const BipartiteGraph& g,
                                        const DecomposeOptions& options = {});
 

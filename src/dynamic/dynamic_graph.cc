@@ -38,7 +38,8 @@ EdgeId DynamicBipartiteGraph::FindEdge(VertexId a, VertexId b) const {
 }
 
 StatusOr<EdgeId> DynamicBipartiteGraph::InsertEdge(VertexId upper_local,
-                                                   VertexId lower_local) {
+                                                   VertexId lower_local,
+                                                   UpdateDelta* delta) {
   if (upper_local >= num_upper_ || lower_local >= num_lower_) {
     return InvalidArgumentError("InsertEdge: endpoint out of range");
   }
@@ -48,6 +49,7 @@ StatusOr<EdgeId> DynamicBipartiteGraph::InsertEdge(VertexId upper_local,
   if (edge_index_.count(key) != 0) {
     return AlreadyExistsError("InsertEdge: edge already present");
   }
+  if (delta != nullptr) delta->Clear();
 
   // New butterflies are exactly those through (u, v); each adds +1 support
   // to its three pre-existing edges, and the new edge collects the total.
@@ -55,11 +57,17 @@ StatusOr<EdgeId> DynamicBipartiteGraph::InsertEdge(VertexId upper_local,
   internal::ForEachButterflyThroughEdge(
       *this, u, v, [&](EdgeId e1, EdgeId e2, EdgeId e3) {
         ++found;
-        ++slots_[e1].support;
-        ++slots_[e2].support;
-        ++slots_[e3].support;
+        slots_[e1].support = internal::SaturatingIncrement(slots_[e1].support);
+        slots_[e2].support = internal::SaturatingIncrement(slots_[e2].support);
+        slots_[e3].support = internal::SaturatingIncrement(slots_[e3].support);
+        if (delta != nullptr) {
+          delta->touched.push_back(e1);
+          delta->touched.push_back(e2);
+          delta->touched.push_back(e3);
+        }
       });
   num_butterflies_ += found;
+  if (delta != nullptr) delta->butterflies = found;
 
   EdgeId e;
   if (!free_slots_.empty()) {
@@ -71,7 +79,7 @@ StatusOr<EdgeId> DynamicBipartiteGraph::InsertEdge(VertexId upper_local,
   }
   slots_[e] = {u, v, static_cast<std::uint32_t>(adj_[u].size()),
                static_cast<std::uint32_t>(adj_[v].size()),
-               static_cast<SupportT>(found)};
+               internal::SaturatingSupportCast(found)};
   adj_[u].push_back({v, e});
   adj_[v].push_back({u, e});
   edge_index_.emplace(key, e);
@@ -79,10 +87,11 @@ StatusOr<EdgeId> DynamicBipartiteGraph::InsertEdge(VertexId upper_local,
   return e;
 }
 
-Status DynamicBipartiteGraph::DeleteEdge(EdgeId e) {
+Status DynamicBipartiteGraph::DeleteEdge(EdgeId e, UpdateDelta* delta) {
   if (!IsLive(e)) {
     return NotFoundError("DeleteEdge: no live edge in this slot");
   }
+  if (delta != nullptr) delta->Clear();
   EdgeSlot& slot = slots_[e];
   const VertexId u = slot.upper;
   const VertexId v = slot.lower;
@@ -96,12 +105,21 @@ Status DynamicBipartiteGraph::DeleteEdge(EdgeId e) {
     internal::ForEachButterflyThroughEdge(
         *this, u, v, [&](EdgeId e1, EdgeId e2, EdgeId e3) {
           ++found;
-          --slots_[e1].support;
-          --slots_[e2].support;
-          --slots_[e3].support;
+          slots_[e1].support =
+              internal::SaturatingDecrement(slots_[e1].support);
+          slots_[e2].support =
+              internal::SaturatingDecrement(slots_[e2].support);
+          slots_[e3].support =
+              internal::SaturatingDecrement(slots_[e3].support);
+          if (delta != nullptr) {
+            delta->touched.push_back(e1);
+            delta->touched.push_back(e2);
+            delta->touched.push_back(e3);
+          }
         });
     assert(found == slot.support);
     num_butterflies_ -= found;
+    if (delta != nullptr) delta->butterflies = found;
   }
 
   RemoveAdjEntry(u, slot.upper_pos);
@@ -126,6 +144,33 @@ void DynamicBipartiteGraph::RemoveAdjEntry(VertexId v, std::uint32_t pos) {
     }
   }
   list.pop_back();
+}
+
+std::vector<EdgeId> DynamicBipartiteGraph::CompactSlots() {
+  const EdgeId old_slots = NumSlots();
+  std::vector<EdgeId> mapping(old_slots, kInvalidEdge);
+  EdgeId next = 0;
+  for (EdgeId e = 0; e < old_slots; ++e) {
+    if (IsLive(e)) mapping[e] = next++;
+  }
+  free_slots_.clear();
+  free_slots_.shrink_to_fit();
+  if (next == old_slots) return mapping;  // already compact
+
+  // The mapping is monotone, so live slots move strictly downward and a
+  // single forward pass relocates them in place.
+  for (EdgeId e = 0; e < old_slots; ++e) {
+    if (mapping[e] != kInvalidEdge && mapping[e] != e) {
+      slots_[mapping[e]] = slots_[e];
+    }
+  }
+  slots_.resize(next);
+  slots_.shrink_to_fit();
+  for (std::vector<Entry>& list : adj_) {
+    for (Entry& entry : list) entry.edge = mapping[entry.edge];
+  }
+  for (auto& [key, slot] : edge_index_) slot = mapping[slot];
+  return mapping;
 }
 
 GraphSnapshot DynamicBipartiteGraph::Snapshot() const {

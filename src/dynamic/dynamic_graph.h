@@ -28,7 +28,9 @@
 #ifndef BITRUSS_DYNAMIC_DYNAMIC_GRAPH_H_
 #define BITRUSS_DYNAMIC_DYNAMIC_GRAPH_H_
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +40,35 @@
 
 namespace bitruss {
 
+namespace internal {
+
+/// Support deltas are applied one butterfly at a time, so the only overflow
+/// hazards are ±1 steps at the SupportT boundaries.  Stepping past a
+/// boundary is a maintained-invariant violation (insert-heavy synthetic
+/// streams can in principle push a hub edge's support to 2^32): debug
+/// builds assert, release builds saturate so the graph stays usable.
+inline SupportT SaturatingIncrement(SupportT s) {
+  assert(s != std::numeric_limits<SupportT>::max() &&
+         "butterfly support overflow");
+  return s == std::numeric_limits<SupportT>::max() ? s : s + 1;
+}
+
+inline SupportT SaturatingDecrement(SupportT s) {
+  assert(s != 0 && "butterfly support underflow");
+  return s == 0 ? 0 : s - 1;
+}
+
+/// Clamp for the 64-bit butterfly tally of a freshly inserted edge.
+inline SupportT SaturatingSupportCast(std::uint64_t count) {
+  assert(count <= std::numeric_limits<SupportT>::max() &&
+         "butterfly support overflow");
+  return count > std::numeric_limits<SupportT>::max()
+             ? std::numeric_limits<SupportT>::max()
+             : static_cast<SupportT>(count);
+}
+
+}  // namespace internal
+
 /// Compaction of a DynamicBipartiteGraph back to immutable CSR.
 struct GraphSnapshot {
   BipartiteGraph graph;
@@ -45,6 +76,25 @@ struct GraphSnapshot {
   std::vector<EdgeId> slot_of_edge;
   /// Maintained butterfly supports reindexed to snapshot edge ids.
   std::vector<SupportT> supports;
+};
+
+/// What one InsertEdge/DeleteEdge did to the maintained supports, for
+/// callers (incremental_bitruss.h) that repair derived state from the same
+/// butterfly deltas instead of recomputing it.  The deltas are still
+/// applied to the maintained supports; this is a report, not a deferral.
+struct UpdateDelta {
+  /// Pre-existing edges whose support moved, one entry per butterfly the
+  /// edge gained (insert) or lost (delete) — an edge in several affected
+  /// butterflies appears several times; callers dedupe.  The inserted /
+  /// deleted edge itself is not listed.
+  std::vector<EdgeId> touched;
+  /// Butterflies gained (insert) or lost (delete) by the update.
+  std::uint64_t butterflies = 0;
+
+  void Clear() {
+    touched.clear();
+    butterflies = 0;
+  }
 };
 
 class DynamicBipartiteGraph {
@@ -72,12 +122,16 @@ class DynamicBipartiteGraph {
   /// Inserts the edge (upper_local, lower_local), updating the supports of
   /// every edge that gains a butterfly.  Returns the assigned slot id;
   /// kInvalidArgument for out-of-range endpoints, kAlreadyExists if the
-  /// edge is present.
-  StatusOr<EdgeId> InsertEdge(VertexId upper_local, VertexId lower_local);
+  /// edge is present.  When `delta` is non-null it is cleared and filled
+  /// with the update's support deltas (untouched on failure).
+  StatusOr<EdgeId> InsertEdge(VertexId upper_local, VertexId lower_local,
+                              UpdateDelta* delta = nullptr);
 
   /// Deletes the edge in slot `e`, updating the supports of every edge
   /// that loses a butterfly.  kNotFound if `e` is out of range or free.
-  Status DeleteEdge(EdgeId e);
+  /// When `delta` is non-null it is cleared and filled with the update's
+  /// support deltas (untouched on failure).
+  Status DeleteEdge(EdgeId e, UpdateDelta* delta = nullptr);
 
   bool IsLive(EdgeId e) const {
     return e < slots_.size() && slots_[e].upper != kInvalidVertex;
@@ -99,6 +153,16 @@ class DynamicBipartiteGraph {
 
   /// Compacts the live edges to CSR; see GraphSnapshot.
   GraphSnapshot Snapshot() const;
+
+  /// Compacts the slot table so NumSlots() == NumEdges() again: live slots
+  /// are renumbered downward (relative order preserved), freed slots and
+  /// their vector capacity are released.  Returns the old-slot -> new-slot
+  /// mapping (kInvalidEdge for slots that were free).  Every EdgeId handed
+  /// out before the call is invalidated; callers owning slot-indexed state
+  /// must remap it through the returned vector.  Without periodic calls,
+  /// sustained insert/delete churn grows the slot table monotonically even
+  /// when NumEdges() stays flat.
+  std::vector<EdgeId> CompactSlots();
 
   std::uint64_t MemoryBytes() const;
 

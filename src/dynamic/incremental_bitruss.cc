@@ -1,0 +1,291 @@
+#include "dynamic/incremental_bitruss.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "butterfly/wedge_enumeration.h"
+#include "core/local_peel.h"
+
+namespace bitruss {
+
+IncrementalBitruss::IncrementalBitruss(const BipartiteGraph& seed,
+                                       IncrementalBitrussOptions options)
+    : options_(std::move(options)), graph_(seed) {
+  // A finite deadline could leave the initial phi (or a fallback) partial,
+  // poisoning every later repair; maintenance always runs to completion.
+  options_.decompose.deadline = Deadline();
+  const GraphSnapshot snapshot = graph_.Snapshot();
+  const BitrussResult initial = Decompose(snapshot.graph, options_.decompose);
+  phi_.assign(graph_.NumSlots(), 0);
+  for (EdgeId e = 0; e < snapshot.graph.NumEdges(); ++e) {
+    phi_[snapshot.slot_of_edge[e]] = initial.phi[e];
+  }
+  stamp_.assign(graph_.NumSlots(), 0);
+}
+
+std::uint64_t IncrementalBitruss::EffectiveBudget() const {
+  if (!options_.adaptive_budget) return options_.cascade_budget;
+  // Below half the butterfly count a local repair is still cheaper than a
+  // recount; past it, bail out early.  The floor keeps tiny graphs from
+  // falling back over trivial cascades.
+  const std::uint64_t half = graph_.NumButterflies() / 2;
+  return std::min(options_.cascade_budget,
+                  std::max<std::uint64_t>(1024, half));
+}
+
+void IncrementalBitruss::NewEpoch() {
+  if (stamp_.size() < graph_.NumSlots()) {
+    stamp_.resize(graph_.NumSlots(), 0);
+  }
+  if (++epoch_ == 0) {  // uint32 wrap: all stamps are stale, reset them
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+StatusOr<EdgeId> IncrementalBitruss::InsertEdge(VertexId upper_local,
+                                                VertexId lower_local) {
+  StatusOr<EdgeId> result = graph_.InsertEdge(upper_local, lower_local,
+                                              &delta_);
+  if (!result.ok()) return result;
+  const EdgeId slot = result.value();
+  if (phi_.size() < graph_.NumSlots()) phi_.resize(graph_.NumSlots(), 0);
+  phi_[slot] = 0;
+  last_ = IncrementalUpdateStats{};
+  entry_labels_.clear();
+  ++totals_.inserts;
+
+  bool local_ok;
+  if (delta_.butterflies == 0) {
+    // The new edge closed no butterfly: no support moved, so no phi moved,
+    // and its own phi is 0.
+    local_ok = true;
+  } else if (options_.cascade_budget == 0) {
+    local_ok = false;
+  } else {
+    local_ok = RepairInsert(slot);
+  }
+  FinishUpdate(local_ok, graph_.EdgeUpper(slot), graph_.EdgeLower(slot));
+  return result;
+}
+
+Status IncrementalBitruss::DeleteEdge(EdgeId slot) {
+  if (!graph_.IsLive(slot)) {
+    return graph_.DeleteEdge(slot);  // the graph's kNotFound contract
+  }
+  const VertexId u = graph_.EdgeUpper(slot);
+  const VertexId v = graph_.EdgeLower(slot);
+  const SupportT k_star = phi_[slot];
+  const Status status = graph_.DeleteEdge(slot, &delta_);
+  if (!status.ok()) return status;
+  phi_[slot] = 0;  // the slot is free until reused
+  last_ = IncrementalUpdateStats{};
+  entry_labels_.clear();
+  ++totals_.deletes;
+
+  bool local_ok;
+  if (delta_.butterflies == 0 || k_star == 0) {
+    // No butterfly lost means no support moved; and the deletion band is
+    // empty when the deleted edge had phi 0 (every shrinking edge f had
+    // phi(f) <= phi(e0), and phi cannot drop below 0).
+    local_ok = true;
+  } else if (options_.cascade_budget == 0) {
+    local_ok = false;
+  } else {
+    local_ok = RepairDelete(k_star);
+  }
+  FinishUpdate(local_ok, u, v);
+  return status;
+}
+
+bool IncrementalBitruss::RepairInsert(const EdgeId slot) {
+  const VertexId u = graph_.EdgeUpper(slot);
+  const VertexId v = graph_.EdgeLower(slot);
+  const std::uint64_t budget = EffectiveBudget();
+
+  // Band bound: phi_new(e0) <= K = h-index over e0's butterflies of
+  // min(partner supports) — a butterfly can carry level k only if all its
+  // edges have support >= k.  Every edge phi can touch lies below K.
+  scratch_.weights.clear();
+  const SupportT own_support = graph_.Support(slot);
+  last_.enumerated_butterflies += internal::CollectButterflyWeights(
+      graph_, u, v, [&](EdgeId f) { return graph_.Support(f); }, own_support,
+      &scratch_.weights);
+  const SupportT band =
+      HIndexOfWeights(scratch_.weights, own_support, &scratch_.bucket);
+  if (band == 0) return true;  // nothing can rise, the new edge stays at 0
+
+  // Affected-band expansion: butterfly-BFS from e0 and the support-delta
+  // edges, pulling in only edges whose phi can still rise (old phi below
+  // the band, support strictly above old phi).  Risen edges chain to the
+  // seed through shared butterflies between risen edges, so the closure
+  // of this walk covers everything the insert can change.
+  NewEpoch();
+  frontier_.clear();
+  Stamp(slot);
+  frontier_.push_back(slot);
+  for (const EdgeId f : delta_.touched) {
+    if (!Stamped(f) && phi_[f] < band && graph_.Support(f) > phi_[f]) {
+      Stamp(f);
+      frontier_.push_back(f);
+    }
+  }
+  // head starts past e0: its butterfly partners are exactly the delta
+  // edges just seeded, so expanding it would only re-pay the enumeration.
+  for (std::size_t head = 1; head < frontier_.size(); ++head) {
+    const EdgeId f = frontier_[head];
+    internal::ForEachButterflyThroughEdge(
+        graph_, graph_.EdgeUpper(f), graph_.EdgeLower(f),
+        [&](EdgeId e1, EdgeId e2, EdgeId e3) {
+          ++last_.enumerated_butterflies;
+          for (const EdgeId g : {e1, e2, e3}) {
+            if (!Stamped(g) && phi_[g] < band && graph_.Support(g) > phi_[g]) {
+              Stamp(g);
+              frontier_.push_back(g);
+            }
+          }
+        });
+    if (last_.enumerated_butterflies > budget) return false;
+  }
+  last_.frontier_edges = frontier_.size();
+
+  // Warm-start labels: each band edge rises to at most min(support, K),
+  // everything outside the band keeps its exact phi.  The repair iterates
+  // the labels back down to the exact new phi (core/local_peel.h).
+  for (const EdgeId f : frontier_) {
+    entry_labels_.emplace_back(f, phi_[f]);
+    phi_[f] = std::min(graph_.Support(f), band);
+  }
+  LocalPeelStats stats;
+  const std::uint64_t used = last_.enumerated_butterflies;
+  const bool completed = LocalHIndexRepair(
+      graph_, phi_, frontier_, [&](EdgeId g) { return Stamped(g); },
+      budget - std::min(budget, used), &stats, &scratch_);
+  last_.enumerated_butterflies += stats.enumerated_butterflies;
+  if (!completed) return false;
+  for (const auto& [f, before] : entry_labels_) {
+    if (phi_[f] != before) ++last_.phi_changes;
+  }
+  return true;
+}
+
+bool IncrementalBitruss::RepairDelete(const SupportT k_star) {
+  // Deletion band: only edges with phi <= phi_old(e0) = k_star can drop
+  // (and phi-0 edges have nowhere to go).  Labels are already an upper
+  // bound — phi only shrinks under deletion — so the repair iterates the
+  // current phi down directly, seeded by the support-delta edges.
+  NewEpoch();
+  frontier_.clear();
+  for (const EdgeId f : delta_.touched) {
+    if (!Stamped(f) && phi_[f] > 0 && phi_[f] <= k_star) {
+      Stamp(f);
+      frontier_.push_back(f);
+    }
+  }
+  if (frontier_.empty()) return true;
+
+  LocalPeelStats stats;
+  const bool completed = LocalHIndexRepair(
+      graph_, phi_, frontier_, [&](EdgeId g) { return phi_[g] <= k_star; },
+      EffectiveBudget(), &stats, &scratch_, &entry_labels_);
+  last_.enumerated_butterflies += stats.enumerated_butterflies;
+  if (!completed) return false;
+  // entry_labels_ may list an edge several times; the first occurrence
+  // holds its pre-update phi.
+  NewEpoch();
+  last_.frontier_edges = 0;
+  for (const auto& [f, before] : entry_labels_) {
+    if (Stamped(f)) continue;
+    Stamp(f);
+    ++last_.frontier_edges;
+    if (phi_[f] != before) ++last_.phi_changes;
+  }
+  return true;
+}
+
+void IncrementalBitruss::FinishUpdate(const bool local_ok, const VertexId u,
+                                      const VertexId v) {
+  if (local_ok) {
+    ++totals_.local_repairs;
+  } else {
+    // Roll the part-way repaired labels back to their pre-update values
+    // (reverse order: the first record per edge is the oldest), then
+    // recompute the affected component exactly.
+    for (auto it = entry_labels_.rbegin(); it != entry_labels_.rend(); ++it) {
+      phi_[it->first] = it->second;
+    }
+    last_.fallback = true;
+    ++totals_.fallbacks;
+    RecomputeComponents(u, v);
+  }
+  totals_.enumerated_butterflies += last_.enumerated_butterflies;
+  totals_.phi_changes += last_.phi_changes;
+}
+
+void IncrementalBitruss::RecomputeComponents(const VertexId u,
+                                             const VertexId v) {
+  // Butterflies and peeling cascades never cross connected components, so
+  // re-decomposing the component(s) of the updated edge's endpoints (a
+  // deletion can split one into two) is exact; phi elsewhere is untouched.
+  std::vector<std::uint8_t> visited(graph_.NumVertices(), 0);
+  std::vector<VertexId> queue;
+  const auto push = [&](VertexId s) {
+    if (s < graph_.NumVertices() && !visited[s] && graph_.Degree(s) > 0) {
+      visited[s] = 1;
+      queue.push_back(s);
+    }
+  };
+  push(u);
+  push(v);
+
+  struct Row {
+    VertexId upper_local, lower_local;
+    EdgeId slot;
+  };
+  std::vector<Row> rows;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId x = queue[head];
+    for (const DynamicBipartiteGraph::Entry& entry : graph_.Neighbors(x)) {
+      push(entry.neighbor);
+      if (x < graph_.NumUpper()) {  // each edge once, from its upper side
+        rows.push_back({x, entry.neighbor - graph_.NumUpper(), entry.edge});
+      }
+    }
+  }
+  if (rows.empty()) return;
+
+  // Lexicographic endpoint order matches the BipartiteGraph constructor's
+  // edge-id assignment, giving the component-id -> slot mapping for free.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.upper_local != b.upper_local ? a.upper_local < b.upper_local
+                                          : a.lower_local < b.lower_local;
+  });
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(rows.size());
+  for (const Row& row : rows) {
+    pairs.emplace_back(row.upper_local, row.lower_local);
+  }
+  const BipartiteGraph component(graph_.NumUpper(), graph_.NumLower(),
+                                 std::move(pairs));
+  const BitrussResult result = Decompose(component, options_.decompose);
+  for (EdgeId e = 0; e < component.NumEdges(); ++e) {
+    if (phi_[rows[e].slot] != result.phi[e]) ++last_.phi_changes;
+    phi_[rows[e].slot] = result.phi[e];
+  }
+}
+
+std::vector<EdgeId> IncrementalBitruss::CompactSlots() {
+  std::vector<EdgeId> mapping = graph_.CompactSlots();
+  std::vector<SupportT> compacted(graph_.NumSlots(), 0);
+  for (EdgeId old_slot = 0; old_slot < mapping.size(); ++old_slot) {
+    if (mapping[old_slot] != kInvalidEdge) {
+      compacted[mapping[old_slot]] = phi_[old_slot];
+    }
+  }
+  phi_ = std::move(compacted);
+  stamp_.assign(graph_.NumSlots(), 0);
+  epoch_ = 0;
+  return mapping;
+}
+
+}  // namespace bitruss

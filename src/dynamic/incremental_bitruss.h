@@ -1,0 +1,157 @@
+// Incremental bitruss (phi) maintenance over a DynamicBipartiteGraph.
+//
+// `IncrementalBitruss` keeps exact bitruss numbers current across an edge
+// update stream: it owns a DynamicBipartiteGraph (which already maintains
+// exact butterfly supports per update), computes the initial phi with one
+// full Decompose(), and on each InsertEdge/DeleteEdge repairs phi by a
+// bounded local re-peel instead of recounting the world.  After every
+// update the maintained phi is bit-identical to a from-scratch
+// Snapshot() + Decompose() — the repair is exact, not approximate.
+//
+// Why a local repair is exact.  Updates move phi monotonically (an insert
+// can only raise bitruss numbers, a delete only lower them) and inside a
+// provable band around the updated edge e0:
+//
+//   insert  every changed edge f has phi_old(f) < phi_new(e0) and
+//           phi_new(f) <= phi_new(e0): a risen edge lies in a
+//           (phi_old(f)+1)-bitruss of the new graph, which must contain e0
+//           (otherwise it existed before the insert).  phi_new(e0) is not
+//           known up front, so the repair uses the upper bound
+//           K = h-index over e0's butterflies of min(partner supports),
+//           which dominates it.
+//   delete  symmetrically, every changed edge had phi_old(f) <=
+//           phi_old(e0) = K — known exactly, no estimate needed.
+//
+// Changed edges also chain to the support-delta set through shared
+// butterflies between changed edges (an edge's phi cannot move unless its
+// own butterflies changed or a butterfly partner moved), so seeding the
+// dirty frontier from the edges whose supports changed and expanding only
+// through edges whose phi can still move (old phi inside the band, support
+// above old phi) reaches every edge the update can affect.  The repair
+// then runs core/local_peel.h's warm-start h-index iteration down from
+// per-edge upper bounds; see that header for the fixpoint argument.
+//
+// Cascades are budgeted: once an update enumerates more than
+// `cascade_budget` butterflies (band expansion + repair combined), the
+// maintainer abandons the local path and recomputes the affected connected
+// component with a scoped Decompose() — still exact, since butterflies and
+// peeling cascades never cross connected components.
+
+#ifndef BITRUSS_DYNAMIC_INCREMENTAL_BITRUSS_H_
+#define BITRUSS_DYNAMIC_INCREMENTAL_BITRUSS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/decompose.h"
+#include "core/local_peel.h"
+#include "dynamic/dynamic_graph.h"
+#include "graph/bipartite_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace bitruss {
+
+struct IncrementalBitrussOptions {
+  /// Maximum butterflies enumerated by one update's local repair (band
+  /// expansion + fixpoint iteration) before falling back to the scoped
+  /// component recompute.  0 forces the fallback on every non-trivial
+  /// update (useful for testing and as a recount-only baseline).
+  std::uint64_t cascade_budget = 1u << 20;
+  /// Additionally cap the effective per-update budget at half the graph's
+  /// current NumButterflies() (floor 1024): a full recount costs on the
+  /// order of the butterfly count, so a local repair that enumerates more
+  /// can never beat the fallback — dense blocks (hub-heavy graphs like
+  /// D-style) bail out early instead of paying budget + recount.  Disable
+  /// to take cascade_budget literally.
+  bool adaptive_budget = true;
+  /// Algorithm/options for the initial decomposition and the fallback
+  /// recomputes.  The deadline is ignored (cleared at construction): a
+  /// timed-out partial phi would poison every later repair.
+  DecomposeOptions decompose;
+};
+
+/// Per-update repair telemetry (reset by each InsertEdge/DeleteEdge).
+struct IncrementalUpdateStats {
+  bool fallback = false;  ///< budget exceeded -> component recompute
+  std::uint64_t enumerated_butterflies = 0;  ///< local-repair work
+  std::uint64_t frontier_edges = 0;  ///< dirty edges seeded + pulled in
+  std::uint64_t phi_changes = 0;     ///< edges whose phi actually moved
+};
+
+/// Stream-lifetime aggregates.
+struct IncrementalTotals {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  /// Updates fully handled by the bounded local re-peel (includes trivial
+  /// updates that touched no butterfly).
+  std::uint64_t local_repairs = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t enumerated_butterflies = 0;
+  std::uint64_t phi_changes = 0;
+};
+
+class IncrementalBitruss {
+ public:
+  explicit IncrementalBitruss(const BipartiteGraph& seed,
+                              IncrementalBitrussOptions options = {});
+
+  const DynamicBipartiteGraph& Graph() const { return graph_; }
+
+  /// Maintained bitruss number of a live slot (free slots read 0).
+  SupportT Phi(EdgeId slot) const { return phi_[slot]; }
+  /// Maintained phi indexed by slot id, size Graph().NumSlots().
+  const std::vector<SupportT>& PhiBySlot() const { return phi_; }
+
+  /// Graph mutation with exact phi repair.  Status contracts match
+  /// DynamicBipartiteGraph; failed updates change nothing.
+  StatusOr<EdgeId> InsertEdge(VertexId upper_local, VertexId lower_local);
+  Status DeleteEdge(EdgeId slot);
+
+  /// Compacts the underlying slot table (DynamicBipartiteGraph::
+  /// CompactSlots) and remaps the maintained phi.  Returns the old-slot ->
+  /// new-slot mapping; previously handed-out EdgeIds are invalidated.
+  std::vector<EdgeId> CompactSlots();
+
+  const IncrementalUpdateStats& LastUpdateStats() const { return last_; }
+  const IncrementalTotals& Totals() const { return totals_; }
+
+ private:
+  /// Per-update enumeration budget: cascade_budget capped at half the
+  /// current butterfly count (see IncrementalBitrussOptions).
+  std::uint64_t EffectiveBudget() const;
+  /// Lazily sizes the stamp scratch to NumSlots() and opens a new epoch.
+  void NewEpoch();
+  bool Stamped(EdgeId e) const { return stamp_[e] == epoch_; }
+  void Stamp(EdgeId e) { stamp_[e] = epoch_; }
+
+  /// Local repair after a successful insert of `slot`; false on budget
+  /// exhaustion (phi is then part-way repaired until the fallback runs).
+  bool RepairInsert(EdgeId slot);
+  /// Local repair after a successful delete whose edge had phi `k_star`.
+  bool RepairDelete(SupportT k_star);
+  /// Exact fallback: Decompose() the connected component(s) of global
+  /// vertices u and v and scatter phi back to their slots.
+  void RecomputeComponents(VertexId u, VertexId v);
+  void FinishUpdate(bool local_ok, VertexId u, VertexId v);
+
+  IncrementalBitrussOptions options_;
+  DynamicBipartiteGraph graph_;
+  std::vector<SupportT> phi_;  // by slot id; free slots hold 0
+
+  // Reusable per-update scratch.
+  UpdateDelta delta_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<EdgeId> frontier_;
+  LocalPeelScratch scratch_;
+  std::vector<std::pair<EdgeId, SupportT>> entry_labels_;
+
+  IncrementalUpdateStats last_;
+  IncrementalTotals totals_;
+};
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_DYNAMIC_INCREMENTAL_BITRUSS_H_

@@ -295,6 +295,26 @@ TEST(CorePruning, StatusContracts) {
   EXPECT_TRUE(pruned.value().edge_origin.empty());
 }
 
+TEST(CorePruning, ExpiredDeadlineIsHonoredInsidePrunePass) {
+  // A deadline that has already passed must surface as a timed-out partial
+  // result from the prune pass itself — peeling never starts, phi comes
+  // back all-zero at full size, and the call returns promptly instead of
+  // spending the caller's blown budget on cascade + compaction work.
+  const BipartiteGraph g = GenerateUniformBipartite(40, 30, 300, 17);
+  DecomposeOptions options;
+  options.deadline = Deadline::After(-1.0);
+  const BitrussResult result = DecomposeWithCorePruning(g, options);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.phi, std::vector<SupportT>(g.NumEdges(), 0));
+  EXPECT_EQ(result.original_support, std::vector<SupportT>(g.NumEdges(), 0));
+
+  // An effectively infinite deadline changes nothing.
+  options.deadline = Deadline::After(3600.0);
+  const BitrussResult relaxed = DecomposeWithCorePruning(g, options);
+  EXPECT_FALSE(relaxed.timed_out);
+  EXPECT_EQ(relaxed.phi, Decompose(g).phi);
+}
+
 TEST(CorePruning, EdgeOriginMapsSurvivingEdgesBack) {
   for (const Case& test_case : CohesionCases()) {
     const BipartiteGraph& g = test_case.graph;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -172,6 +174,118 @@ TEST(DynamicGraph, FreedSlotsAreReused) {
   EXPECT_EQ(dynamic.NumSlots(), 3u);
   EXPECT_EQ(dynamic.FindEdge(3, dynamic.NumUpper() + 3), 1u);
   EXPECT_EQ(dynamic.FindEdge(1, dynamic.NumUpper() + 1), kInvalidEdge);
+}
+
+TEST(DynamicGraph, UpdateDeltaReportsTouchedEdges) {
+  // Path u0 - l0 - u1 - l1: inserting (u0, l1) closes one butterfly whose
+  // three pre-existing edges are exactly the path; deleting it reports
+  // the same set on the way out.  Edge ids 0..2 are the seed CSR ids.
+  DynamicBipartiteGraph dynamic(BipartiteGraph(2, 2, {{0, 0}, {1, 0}, {1, 1}}));
+  UpdateDelta delta;
+  delta.touched.push_back(99);  // must be cleared by the next update
+
+  auto closing = dynamic.InsertEdge(0, 1, &delta);
+  ASSERT_TRUE(closing.ok());
+  EXPECT_EQ(delta.butterflies, 1u);
+  std::vector<EdgeId> touched = delta.touched;
+  std::sort(touched.begin(), touched.end());
+  EXPECT_EQ(touched, (std::vector<EdgeId>{0, 1, 2}));
+
+  ASSERT_TRUE(dynamic.DeleteEdge(closing.value(), &delta).ok());
+  EXPECT_EQ(delta.butterflies, 1u);
+  touched = delta.touched;
+  std::sort(touched.begin(), touched.end());
+  EXPECT_EQ(touched, (std::vector<EdgeId>{0, 1, 2}));
+
+  // A butterfly-free delete reports an empty delta.
+  ASSERT_TRUE(dynamic.DeleteEdge(0, &delta).ok());
+  EXPECT_EQ(delta.butterflies, 0u);
+  EXPECT_TRUE(delta.touched.empty());
+
+  // Failed updates leave the caller's delta untouched.
+  delta.touched.push_back(42);
+  EXPECT_FALSE(dynamic.InsertEdge(9, 9, &delta).ok());
+  EXPECT_FALSE(dynamic.DeleteEdge(0, &delta).ok());
+  EXPECT_EQ(delta.touched, (std::vector<EdgeId>{42}));
+}
+
+TEST(DynamicGraph, SupportDeltaGuardsSaturate) {
+  constexpr SupportT kMax = std::numeric_limits<SupportT>::max();
+  // Normal range: plain ±1 steps.
+  EXPECT_EQ(internal::SaturatingIncrement(0), 1u);
+  EXPECT_EQ(internal::SaturatingIncrement(41), 42u);
+  EXPECT_EQ(internal::SaturatingDecrement(42), 41u);
+  EXPECT_EQ(internal::SaturatingDecrement(1), 0u);
+  EXPECT_EQ(internal::SaturatingSupportCast(0), 0u);
+  EXPECT_EQ(internal::SaturatingSupportCast(kMax), kMax);
+#ifdef NDEBUG
+  // Release behavior at the boundaries: saturate instead of wrapping.
+  // (Debug builds assert on the same inputs; the invariant violation is a
+  // bug there, not a value to test.)
+  EXPECT_EQ(internal::SaturatingIncrement(kMax), kMax);
+  EXPECT_EQ(internal::SaturatingDecrement(0), 0u);
+  EXPECT_EQ(internal::SaturatingSupportCast(std::uint64_t{kMax} + 1), kMax);
+  EXPECT_EQ(internal::SaturatingSupportCast(~std::uint64_t{0}), kMax);
+#endif
+}
+
+TEST(DynamicGraph, CompactSlotsBoundsSlotGrowthUnderChurn) {
+  DynamicBipartiteGraph dynamic(MakeDataset("Writer", 0.02));
+  const EdgeId seed_edges = dynamic.NumEdges();
+  Rng rng(31337);
+
+  // Sustained churn: repeatedly delete a random live edge and insert a
+  // fresh random pair, keeping NumEdges() roughly flat.  Without
+  // compaction the slot table only ever grows; with a periodic
+  // CompactSlots() it must return to exactly the live-edge count.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    int churned = 0;
+    while (churned < 200) {
+      EdgeId victim = static_cast<EdgeId>(rng.Below(dynamic.NumSlots()));
+      if (dynamic.IsLive(victim) && dynamic.DeleteEdge(victim).ok()) {
+        ++churned;
+      }
+      const auto u = static_cast<VertexId>(rng.Below(dynamic.NumUpper()));
+      const auto v = static_cast<VertexId>(rng.Below(dynamic.NumLower()));
+      if (dynamic.InsertEdge(u, v).ok()) ++churned;
+    }
+    ASSERT_GT(dynamic.NumSlots(), dynamic.NumEdges());  // churn left holes
+
+    const EdgeId live = dynamic.NumEdges();
+    const EdgeId old_slots = dynamic.NumSlots();
+    const std::vector<EdgeId> mapping = dynamic.CompactSlots();
+    ASSERT_EQ(mapping.size(), old_slots);
+    EXPECT_EQ(dynamic.NumSlots(), live);  // bounded: slots == live edges
+    EXPECT_EQ(dynamic.NumEdges(), live);
+
+    // The mapping renumbers live slots monotonically and drops free ones.
+    EdgeId expected = 0;
+    for (EdgeId old_slot = 0; old_slot < old_slots; ++old_slot) {
+      if (mapping[old_slot] != kInvalidEdge) {
+        EXPECT_EQ(mapping[old_slot], expected++);
+      }
+    }
+    EXPECT_EQ(expected, live);
+
+    // Adjacency, hash index, and maintained supports all survive.
+    for (EdgeId e = 0; e < dynamic.NumSlots(); ++e) {
+      ASSERT_TRUE(dynamic.IsLive(e));
+      EXPECT_EQ(dynamic.FindEdge(dynamic.EdgeUpper(e), dynamic.EdgeLower(e)),
+                e);
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectSupportsMatchRecount(dynamic));
+  }
+  // The graph keeps mutating correctly after repeated compactions.
+  RunMixedStream(dynamic, /*updates=*/100, /*verify_every=*/50, 55);
+  (void)seed_edges;
+}
+
+TEST(DynamicGraph, CompactSlotsOnCompactTableIsANoOp) {
+  DynamicBipartiteGraph dynamic(BipartiteGraph(3, 3, {{0, 0}, {1, 1}, {2, 2}}));
+  const std::vector<EdgeId> mapping = dynamic.CompactSlots();
+  EXPECT_EQ(mapping, (std::vector<EdgeId>{0, 1, 2}));
+  EXPECT_EQ(dynamic.NumSlots(), 3u);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_TRUE(dynamic.IsLive(e));
 }
 
 TEST(DynamicGraph, EmptySeed) {

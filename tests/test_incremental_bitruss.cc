@@ -1,0 +1,272 @@
+// Oracle tests for incremental bitruss maintenance: after EVERY update of
+// randomized insert/delete streams, the maintained phi must be
+// bit-identical to a from-scratch Snapshot() + Decompose() recount — on
+// the default budget (local re-peel path), a tiny budget (mixed
+// local/fallback), and budget 0 (every non-trivial update falls back to
+// the scoped component recompute).  Plus the long-stream fuzz sweep
+// (supports, butterfly totals, and phi against recount oracles at
+// checkpoints), slot compaction under churn, and stats plumbing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "butterfly/butterfly_counting.h"
+#include "core/decompose.h"
+#include "core/local_peel.h"
+#include "dynamic/incremental_bitruss.h"
+#include "gen/dataset_suite.h"
+#include "gen/random_bipartite.h"
+#include "graph/bipartite_graph.h"
+#include "util/random.h"
+
+namespace bitruss {
+namespace {
+
+// Recount oracle: maintained phi (by slot) must match a full Decompose()
+// of the compacted snapshot, edge by edge through the slot mapping.
+void ExpectPhiMatchesRecount(const IncrementalBitruss& inc) {
+  const GraphSnapshot snapshot = inc.Graph().Snapshot();
+  const BitrussResult oracle = Decompose(snapshot.graph);
+  ASSERT_EQ(snapshot.graph.NumEdges(), inc.Graph().NumEdges());
+  for (EdgeId e = 0; e < snapshot.graph.NumEdges(); ++e) {
+    const EdgeId slot = snapshot.slot_of_edge[e];
+    ASSERT_EQ(inc.Phi(slot), oracle.phi[e])
+        << "slot " << slot << " (snapshot edge " << e << ")";
+  }
+}
+
+// Full-state oracle for the fuzz checkpoints: supports, butterfly total,
+// and phi all against independent recounts.
+void ExpectStateMatchesRecount(const IncrementalBitruss& inc) {
+  const GraphSnapshot snapshot = inc.Graph().Snapshot();
+  ASSERT_EQ(snapshot.supports, CountEdgeSupports(snapshot.graph));
+  ASSERT_EQ(inc.Graph().NumButterflies(),
+            CountTotalButterflies(snapshot.graph));
+  const BitrussResult oracle = Decompose(snapshot.graph);
+  for (EdgeId e = 0; e < snapshot.graph.NumEdges(); ++e) {
+    ASSERT_EQ(inc.Phi(snapshot.slot_of_edge[e]), oracle.phi[e]);
+  }
+}
+
+// Mixed stream driver; runs `checkpoint` every `verify_every` applied
+// updates (1 = after every single update).
+template <typename CheckpointFn>
+void RunCheckedStream(IncrementalBitruss& inc, int updates, int verify_every,
+                      std::uint64_t seed, CheckpointFn&& checkpoint) {
+  Rng rng(seed);
+  std::vector<EdgeId> inserted;
+  for (int applied = 0; applied < updates;) {
+    if (!inserted.empty() && rng.NextBool(0.5)) {
+      const std::size_t pick = rng.Below(inserted.size());
+      ASSERT_TRUE(inc.DeleteEdge(inserted[pick]).ok());
+      inserted[pick] = inserted.back();
+      inserted.pop_back();
+      ++applied;
+    } else {
+      const auto u = static_cast<VertexId>(rng.Below(inc.Graph().NumUpper()));
+      const auto v = static_cast<VertexId>(rng.Below(inc.Graph().NumLower()));
+      auto result = inc.InsertEdge(u, v);
+      if (!result.ok()) {
+        ASSERT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+        continue;
+      }
+      inserted.push_back(result.value());
+      ++applied;
+    }
+    if (applied % verify_every == 0) {
+      ASSERT_NO_FATAL_FAILURE(checkpoint(inc));
+    }
+  }
+}
+
+// The common case: phi against the recount oracle at every checkpoint.
+void RunVerifiedStream(IncrementalBitruss& inc, int updates, int verify_every,
+                       std::uint64_t seed) {
+  RunCheckedStream(inc, updates, verify_every, seed, ExpectPhiMatchesRecount);
+}
+
+TEST(HIndexOfWeights, MatchesDefinition) {
+  std::vector<std::uint32_t> bucket;
+  EXPECT_EQ(HIndexOfWeights({}, 10, &bucket), 0u);
+  EXPECT_EQ(HIndexOfWeights({5, 5, 5}, 0, &bucket), 0u);
+  EXPECT_EQ(HIndexOfWeights({1}, 10, &bucket), 1u);
+  EXPECT_EQ(HIndexOfWeights({3, 1, 2}, 10, &bucket), 2u);
+  EXPECT_EQ(HIndexOfWeights({7, 7, 7, 7}, 10, &bucket), 4u);
+  // Clamping at cap cannot lower any h-index at or below cap.
+  EXPECT_EQ(HIndexOfWeights({7, 7, 7, 7}, 2, &bucket), 2u);
+  EXPECT_EQ(HIndexOfWeights({0, 0, 9}, 10, &bucket), 1u);
+}
+
+TEST(IncrementalBitruss, SeedMatchesDecompose) {
+  const BipartiteGraph seed = MakeDataset("Writer", 0.03);
+  const IncrementalBitruss inc(seed);
+  const BitrussResult expected = Decompose(seed);
+  // Seed slots keep the CSR edge ids, so phi lines up directly.
+  for (EdgeId e = 0; e < seed.NumEdges(); ++e) {
+    ASSERT_EQ(inc.Phi(e), expected.phi[e]);
+  }
+}
+
+TEST(IncrementalBitruss, HandComputedInsertAndDelete) {
+  // Path u0 - l0 - u1 - l1: all phi 0.  Inserting (u0, l1) closes K(2,2)
+  // and every edge rises to phi 1; deleting it drops everything back.
+  const BipartiteGraph seed(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  IncrementalBitruss inc(seed);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(inc.Phi(e), 0u);
+
+  auto closing = inc.InsertEdge(0, 1);
+  ASSERT_TRUE(closing.ok());
+  for (EdgeId e = 0; e < 4; ++e) EXPECT_EQ(inc.Phi(e), 1u) << "slot " << e;
+  EXPECT_FALSE(inc.LastUpdateStats().fallback);
+  EXPECT_EQ(inc.LastUpdateStats().phi_changes, 4u);
+
+  ASSERT_TRUE(inc.DeleteEdge(closing.value()).ok());
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(inc.Phi(e), 0u) << "slot " << e;
+  EXPECT_EQ(inc.LastUpdateStats().phi_changes, 3u);
+  EXPECT_EQ(inc.Totals().fallbacks, 0u);
+  EXPECT_EQ(inc.Totals().local_repairs, 2u);
+}
+
+TEST(IncrementalBitruss, EveryUpdateBitIdenticalOnLocalPath) {
+  // Unlimited literal budget: every update must be repaired by the local
+  // re-peel alone — no fallback recompute to mask a repair bug.
+  IncrementalBitrussOptions options;
+  options.adaptive_budget = false;
+  options.cascade_budget = std::numeric_limits<std::uint64_t>::max();
+  for (const char* name : {"Writer", "Github"}) {
+    SCOPED_TRACE(name);
+    IncrementalBitruss inc(MakeDataset(name, 0.02), options);
+    RunVerifiedStream(inc, /*updates=*/150, /*verify_every=*/1,
+                      HashString64(name) ^ 0x5eedull);
+    EXPECT_EQ(inc.Totals().fallbacks, 0u);  // all repairs stayed local
+    EXPECT_EQ(inc.Totals().inserts + inc.Totals().deletes, 150u);
+  }
+}
+
+TEST(IncrementalBitruss, EveryUpdateBitIdenticalOnDenseRandomGraph) {
+  IncrementalBitruss inc(GenerateUniformBipartite(25, 20, 160, /*seed=*/7));
+  RunVerifiedStream(inc, /*updates=*/200, /*verify_every=*/1, 99);
+}
+
+TEST(IncrementalBitruss, ForcedFallbackBitIdentical) {
+  IncrementalBitrussOptions options;
+  options.cascade_budget = 0;  // every non-trivial update falls back
+  IncrementalBitruss inc(GenerateUniformBipartite(25, 20, 160, /*seed=*/7),
+                         options);
+  RunVerifiedStream(inc, /*updates=*/120, /*verify_every=*/1, 99);
+  EXPECT_GT(inc.Totals().fallbacks, 0u);
+}
+
+TEST(IncrementalBitruss, TinyBudgetMixedPathsBitIdentical) {
+  IncrementalBitrussOptions options;
+  options.cascade_budget = 6;  // forces mid-repair aborts and rollbacks
+  IncrementalBitruss inc(GenerateUniformBipartite(30, 25, 200, /*seed=*/13),
+                         options);
+  RunVerifiedStream(inc, /*updates=*/200, /*verify_every=*/1, 1234);
+  EXPECT_GT(inc.Totals().fallbacks, 0u);
+  EXPECT_GT(inc.Totals().local_repairs, 0u);
+}
+
+TEST(IncrementalBitruss, AlternativeAlgorithmsAgree) {
+  // The fallback/initial Decompose variant must not matter.
+  for (const Algorithm algorithm : {Algorithm::kBS, Algorithm::kPC}) {
+    IncrementalBitrussOptions options;
+    options.decompose.algorithm = algorithm;
+    options.cascade_budget = 16;
+    IncrementalBitruss inc(GenerateUniformBipartite(20, 15, 110, /*seed=*/3),
+                           options);
+    RunVerifiedStream(inc, /*updates=*/80, /*verify_every=*/1, 77);
+  }
+}
+
+TEST(IncrementalBitruss, CompactSlotsPreservesMaintainedState) {
+  IncrementalBitruss inc(MakeDataset("Writer", 0.02));
+  RunVerifiedStream(inc, /*updates=*/120, /*verify_every=*/60, 4242);
+
+  const EdgeId live = inc.Graph().NumEdges();
+  const std::vector<EdgeId> mapping = inc.CompactSlots();
+  EXPECT_EQ(inc.Graph().NumSlots(), live);
+  EXPECT_EQ(inc.Graph().NumEdges(), live);
+  EXPECT_EQ(inc.PhiBySlot().size(), live);
+  for (const EdgeId target : mapping) {
+    if (target != kInvalidEdge) {
+      ASSERT_LT(target, live);
+    }
+  }
+  ASSERT_NO_FATAL_FAILURE(ExpectStateMatchesRecount(inc));
+  // The maintainer keeps working across the compaction.
+  RunVerifiedStream(inc, /*updates=*/60, /*verify_every=*/20, 4243);
+}
+
+// The long-stream fuzz sweep: >= 10k mixed updates across three suite
+// datasets, with supports, NumButterflies(), and phi checked against
+// recount oracles at every checkpoint.
+TEST(IncrementalBitruss, LongStreamFuzzAcrossSuiteDatasets) {
+  constexpr int kUpdatesPerDataset = 3500;
+  constexpr int kCheckpointEvery = 500;
+  for (const char* name : {"Writer", "Github", "Twitter"}) {
+    SCOPED_TRACE(name);
+    IncrementalBitruss inc(MakeDataset(name, 0.02));
+    RunCheckedStream(inc, kUpdatesPerDataset, kCheckpointEvery,
+                     HashString64(name) ^ 0xf022ull,
+                     ExpectStateMatchesRecount);
+    EXPECT_EQ(inc.Totals().inserts + inc.Totals().deletes,
+              static_cast<std::uint64_t>(kUpdatesPerDataset));
+  }
+}
+
+// Dense adversary: D-style's hub-heavy lower side is a near-complete
+// block, so an insert's affected band legitimately spans most of the
+// graph and the budget forces the component-recompute fallback.  The
+// maintained phi must stay bit-identical through that path too.
+TEST(IncrementalBitruss, DenseBlockFallsBackAndStaysExact) {
+  // Nearly all vertex pairs are present, so churn seed edges directly:
+  // delete a random live slot, then re-insert a random free pair.
+  IncrementalBitruss inc(MakeDataset("D-style", 0.01));
+  Rng rng(2026);
+  for (int round = 0; round < 30; ++round) {
+    EdgeId victim = kInvalidEdge;
+    do {
+      victim = static_cast<EdgeId>(rng.Below(inc.Graph().NumSlots()));
+    } while (!inc.Graph().IsLive(victim));
+    const VertexId u = inc.Graph().EdgeUpper(victim);
+    const VertexId v = inc.Graph().EdgeLower(victim) - inc.Graph().NumUpper();
+    ASSERT_TRUE(inc.DeleteEdge(victim).ok());
+    ASSERT_NO_FATAL_FAILURE(ExpectPhiMatchesRecount(inc));
+    ASSERT_TRUE(inc.InsertEdge(u, v).ok());  // the pair just freed
+    ASSERT_NO_FATAL_FAILURE(ExpectPhiMatchesRecount(inc));
+  }
+  EXPECT_GT(inc.Totals().fallbacks, 0u);
+}
+
+TEST(IncrementalBitruss, StatsPlumbing) {
+  const BipartiteGraph seed(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  IncrementalBitruss inc(seed);
+
+  // Butterfly-free insert: trivial local repair, no work counted.
+  // (u1, l1) already exists; (0, 1) closes the butterfly instead.
+  auto lone = inc.InsertEdge(0, 1);
+  ASSERT_TRUE(lone.ok());
+  EXPECT_FALSE(inc.LastUpdateStats().fallback);
+  EXPECT_GT(inc.LastUpdateStats().enumerated_butterflies, 0u);
+  EXPECT_EQ(inc.Totals().inserts, 1u);
+
+  ASSERT_TRUE(inc.DeleteEdge(lone.value()).ok());
+  EXPECT_EQ(inc.Totals().deletes, 1u);
+  EXPECT_EQ(inc.Totals().local_repairs, 2u);
+
+  // Failed updates leave stats untouched.
+  const IncrementalTotals before = inc.Totals();
+  EXPECT_FALSE(inc.InsertEdge(0, 0).ok());
+  EXPECT_FALSE(inc.DeleteEdge(12345).ok());
+  EXPECT_EQ(inc.Totals().inserts, before.inserts);
+  EXPECT_EQ(inc.Totals().deletes, before.deletes);
+}
+
+}  // namespace
+}  // namespace bitruss
