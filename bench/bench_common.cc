@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 #include "gen/dataset_suite.h"
 #include "util/timer.h"
@@ -31,7 +32,12 @@ double BenchTimeoutSeconds() {
 }
 
 const BipartiteGraph& BenchDataset(const std::string& name) {
+  // Guarded so multi-threaded benches (and parallel smoke tests) can't race
+  // the lookup/emplace; std::map nodes are stable, so the returned
+  // reference stays valid while other threads insert.
+  static std::mutex mu;
   static std::map<std::string, BipartiteGraph> cache;
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(name);
   if (it == cache.end()) {
     it = cache.emplace(name, MakeDataset(name, BenchScale())).first;

@@ -1,6 +1,8 @@
 // Figure 12: scalability of BiT-BU, BiT-BU++ and BiT-PC when sampling 20%
 // to 100% of the vertices of Github, D-label, D-style and Wiki-it (induced
-// subgraphs, the paper's protocol).
+// subgraphs, the paper's protocol).  "Tracker-XL" (bench-only, ~1M edges at
+// scale 1) extends the sweep past the default suite's 200k-edge ceiling;
+// set BITRUSS_NUM_THREADS to run the counting/index phases over a pool.
 
 #include <cstdio>
 
@@ -13,7 +15,8 @@ int main() {
 
   PrintBanner("Figure 12", "runtime vs vertex sample percentage");
 
-  for (const char* name : {"Github", "D-label", "D-style", "Wiki-it"}) {
+  for (const char* name :
+       {"Github", "D-label", "D-style", "Wiki-it", "Tracker-XL"}) {
     const BipartiteGraph& full = BenchDataset(name);
     std::printf("\n[%s]\n", name);
     TablePrinter table(

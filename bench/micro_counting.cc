@@ -7,6 +7,7 @@
 #include "gen/chung_lu.h"
 #include "gen/random_bipartite.h"
 #include "graph/vertex_priority.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -52,6 +53,26 @@ void BM_CountEdgeSupports(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.NumEdges());
 }
 BENCHMARK(BM_CountEdgeSupports)->Arg(10000)->Arg(50000)->Arg(150000);
+
+// Thread scaling of the anchor-partitioned parallel counter; {edges,
+// threads}.  A 1-thread pool short-circuits to the plain sequential
+// function, so the x1 row is a baseline equal to BM_CountEdgeSupports
+// above; the x2+ rows measure chunked-path scaling against it.
+void BM_CountEdgeSupportsThreads(benchmark::State& state) {
+  const BipartiteGraph g = SkewedGraph(state.range(0), 0.8);
+  const VertexPriority prio = VertexPriority::Compute(g);
+  const PriorityAdjacency adj(g, prio);
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountEdgeSupports(g, adj, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_CountEdgeSupportsThreads)
+    ->Args({150000, 1})
+    ->Args({150000, 2})
+    ->Args({150000, 4})
+    ->Args({150000, 8});
 
 void BM_CountTotalUniformVsSkewed(benchmark::State& state) {
   const bool skewed = state.range(1) != 0;

@@ -1,11 +1,25 @@
 #include "butterfly/butterfly_counting.h"
 
+#include <atomic>
+
 #include "butterfly/wedge_enumeration.h"
 
 namespace bitruss {
 
 namespace {
+
 constexpr auto kNoopAnchorDone = [](const std::vector<VertexId>&) {};
+
+// Anchors processed per deadline poll inside a chunk: the poll sits between
+// sub-slices of the bloom enumeration, so expiry is detected within a
+// bounded amount of extra work even on hub-heavy chunks.
+constexpr VertexId kAnchorsPerPoll = 64;
+
+// Chunks per thread: enough slack that the hub-heavy low-rank anchors (the
+// bulk of the wedge work under the degree priority) spread across the pool
+// instead of pinning to whichever thread drew the first chunk.
+constexpr unsigned kChunksPerThread = 8;
+
 }  // namespace
 
 std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
@@ -27,6 +41,94 @@ std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g) {
   return CountEdgeSupports(g, adj);
 }
 
+std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
+                                        const PriorityAdjacency& adj,
+                                        ThreadPool* pool,
+                                        const Deadline& deadline,
+                                        bool* expired) {
+  if (expired != nullptr) *expired = false;
+  const EdgeId m = g.NumEdges();
+  const VertexId n = adj.NumVertices();
+  if (pool == nullptr || pool->NumThreads() <= 1) {
+    if (!deadline.IsFinite()) return CountEdgeSupports(g, adj);
+    // Sequential but deadline-aware: same enumeration, polled per sub-slice.
+    std::vector<SupportT> sup(m, 0);
+    internal::BloomScratch scratch;
+    scratch.Prepare(n);
+    for (VertexId begin = 0; begin < n; begin += kAnchorsPerPoll) {
+      if (deadline.Expired()) {
+        if (expired != nullptr) *expired = true;
+        return {};
+      }
+      const VertexId end =
+          begin + kAnchorsPerPoll < n ? begin + kAnchorsPerPoll : n;
+      internal::ForEachBloomRange<true>(
+          adj, begin, end, scratch, [](VertexId, SupportT) {},
+          [&](VertexId, SupportT c, EdgeId anchor_edge, EdgeId far_edge) {
+            sup[anchor_edge] += c - 1;
+            sup[far_edge] += c - 1;
+          },
+          kNoopAnchorDone);
+    }
+    return sup;
+  }
+
+  const unsigned num_threads = pool->NumThreads();
+  std::vector<std::vector<SupportT>> partial(num_threads);
+  std::vector<internal::BloomScratch> scratch(num_threads);
+  std::atomic<bool> abort{false};
+
+  pool->ParallelForChunks(
+      0, n, num_threads * kChunksPerThread,
+      [&](std::uint64_t begin, std::uint64_t end, unsigned, unsigned thread) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        std::vector<SupportT>& sup = partial[thread];
+        if (sup.empty()) {
+          sup.assign(m, 0);
+          scratch[thread].Prepare(n);
+        }
+        for (std::uint64_t slice = begin; slice < end;
+             slice += kAnchorsPerPoll) {
+          if (deadline.IsFinite()) {
+            if (abort.load(std::memory_order_relaxed)) return;
+            if (deadline.Expired()) {
+              abort.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+          const VertexId slice_end = static_cast<VertexId>(
+              slice + kAnchorsPerPoll < end ? slice + kAnchorsPerPoll : end);
+          internal::ForEachBloomRange<true>(
+              adj, static_cast<VertexId>(slice), slice_end, scratch[thread],
+              [](VertexId, SupportT) {},
+              [&](VertexId, SupportT c, EdgeId anchor_edge, EdgeId far_edge) {
+                sup[anchor_edge] += c - 1;
+                sup[far_edge] += c - 1;
+              },
+              kNoopAnchorDone);
+        }
+      });
+
+  if (abort.load(std::memory_order_relaxed)) {
+    if (expired != nullptr) *expired = true;
+    return {};
+  }
+
+  // Deterministic merge: sup(e) is a per-edge integer sum over the thread
+  // partials, independent of which thread ran which chunk.
+  std::vector<SupportT> sup(m, 0);
+  pool->ParallelFor(0, m, [&](std::uint64_t begin, std::uint64_t end,
+                              unsigned) {
+    for (const std::vector<SupportT>& part : partial) {
+      if (part.empty()) continue;
+      for (std::uint64_t e = begin; e < end; ++e) {
+        sup[e] += part[e];
+      }
+    }
+  });
+  return sup;
+}
+
 std::uint64_t CountTotalButterflies(const BipartiteGraph& g,
                                     const PriorityAdjacency& adj) {
   (void)g;
@@ -44,6 +146,37 @@ std::uint64_t CountTotalButterflies(const BipartiteGraph& g) {
   const VertexPriority priority = VertexPriority::Compute(g);
   const PriorityAdjacency adj(g, priority);
   return CountTotalButterflies(g, adj);
+}
+
+std::uint64_t CountTotalButterflies(const BipartiteGraph& g,
+                                    const PriorityAdjacency& adj,
+                                    ThreadPool* pool) {
+  if (pool == nullptr || pool->NumThreads() <= 1) {
+    return CountTotalButterflies(g, adj);
+  }
+  const VertexId n = adj.NumVertices();
+  const unsigned num_threads = pool->NumThreads();
+  std::vector<std::uint64_t> per_thread(num_threads, 0);
+  std::vector<internal::BloomScratch> scratch(num_threads);
+  pool->ParallelForChunks(
+      0, n, num_threads * kChunksPerThread,
+      [&](std::uint64_t begin, std::uint64_t end, unsigned, unsigned thread) {
+        if (scratch[thread].count.empty()) scratch[thread].Prepare(n);
+        // Chunk-local accumulator: per_thread slots share cache lines, so
+        // touching them once per chunk (not per pair) avoids false sharing.
+        std::uint64_t chunk_total = 0;
+        internal::ForEachBloomRange<false>(
+            adj, static_cast<VertexId>(begin), static_cast<VertexId>(end),
+            scratch[thread],
+            [&](VertexId, SupportT c) {
+              chunk_total += static_cast<std::uint64_t>(c) * (c - 1) / 2;
+            },
+            [](VertexId, SupportT, EdgeId, EdgeId) {}, kNoopAnchorDone);
+        per_thread[thread] += chunk_total;
+      });
+  std::uint64_t total = 0;
+  for (const std::uint64_t t : per_thread) total += t;
+  return total;
 }
 
 }  // namespace bitruss

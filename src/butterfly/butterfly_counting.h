@@ -9,6 +9,13 @@
 // anchor is the butterfly's top-priority vertex), and each wedge edge gains
 // support c - 1 from the pair.  Total work is
 // O(sum_{(u,v) in E} min{d(u), d(v)}) under the degree priority.
+//
+// Parallel variants partition the ANCHOR vertices across a ThreadPool:
+// every wedge has exactly one anchor, so anchor chunks partition the wedge
+// set, each thread accumulates supports into a private array, and the
+// per-edge merge sums thread arrays — integer sums, so the output is
+// bit-identical to the sequential count at every thread count (no atomics
+// anywhere on the hot path).
 
 #ifndef BITRUSS_BUTTERFLY_BUTTERFLY_COUNTING_H_
 #define BITRUSS_BUTTERFLY_BUTTERFLY_COUNTING_H_
@@ -18,6 +25,8 @@
 
 #include "graph/bipartite_graph.h"
 #include "graph/vertex_priority.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace bitruss {
 
@@ -28,10 +37,25 @@ std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
 /// Convenience overload computing the default (degree, id) priority.
 std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g);
 
+/// Parallel per-edge supports over `pool` (nullptr or a 1-thread pool runs
+/// the sequential path).  Anchor chunks poll `deadline` coarsely (every few
+/// anchors); on expiry the count aborts, *expired is set when non-null, and
+/// the returned vector is empty — partial counts are never handed out.
+std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
+                                        const PriorityAdjacency& adj,
+                                        ThreadPool* pool,
+                                        const Deadline& deadline = {},
+                                        bool* expired = nullptr);
+
 /// Total number of butterflies in g.
 std::uint64_t CountTotalButterflies(const BipartiteGraph& g,
                                     const PriorityAdjacency& adj);
 std::uint64_t CountTotalButterflies(const BipartiteGraph& g);
+
+/// Parallel total over `pool` (nullptr or 1-thread = sequential path).
+std::uint64_t CountTotalButterflies(const BipartiteGraph& g,
+                                    const PriorityAdjacency& adj,
+                                    ThreadPool* pool);
 
 }  // namespace bitruss
 

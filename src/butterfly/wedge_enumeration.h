@@ -29,21 +29,41 @@ inline const PriorityAdjacency::Entry* FirstRankAbove(
       [bound](const PriorityAdjacency::Entry& e) { return e.rank <= bound; });
 }
 
+/// Zeroed per-endpoint scratch reused across anchors (and, by parallel
+/// callers, across chunks of the same thread).  `count` must stay all-zero
+/// between anchors; the enumeration restores that invariant itself.
+struct BloomScratch {
+  std::vector<SupportT> count;
+  std::vector<VertexId> touched;
+
+  void Prepare(VertexId n) {
+    count.assign(n, 0);
+    touched.clear();
+    touched.reserve(1024);
+  }
+};
+
 // Per anchor u: pass 1 counts wedges u-v-w per endpoint w (all of v, w at
 // strictly lower priority than u); then `on_pair(w_rank, c)` fires once per
 // endpoint with c >= 2 wedges; with kNeedWedges, `on_wedge(w_rank, c,
 // edge(u,v), edge(v,w))` fires once per wedge of such a pair; finally
 // `on_anchor_done(touched)` fires before the scratch resets.
+//
+// ForEachBloomRange restricts the ANCHOR loop to [anchor_begin, anchor_end)
+// — wedges still reach down to arbitrary ranks, so partitioning anchors
+// over threads partitions the wedge set exactly (every wedge has one
+// anchor).  Scratch is caller-owned so parallel chunks of one thread reuse
+// a single allocation; it must arrive prepared for a.NumVertices().
 template <bool kNeedWedges, typename AdjT, typename PairFn, typename WedgeFn,
           typename AnchorDoneFn>
-void ForEachBloom(const AdjT& a, PairFn&& on_pair, WedgeFn&& on_wedge,
-                  AnchorDoneFn&& on_anchor_done) {
-  const VertexId n = a.NumVertices();
-  std::vector<SupportT> count(n, 0);
-  std::vector<VertexId> touched;
-  touched.reserve(1024);
+void ForEachBloomRange(const AdjT& a, VertexId anchor_begin,
+                       VertexId anchor_end, BloomScratch& scratch,
+                       PairFn&& on_pair, WedgeFn&& on_wedge,
+                       AnchorDoneFn&& on_anchor_done) {
+  std::vector<SupportT>& count = scratch.count;
+  std::vector<VertexId>& touched = scratch.touched;
 
-  for (VertexId ur = 0; ur < n; ++ur) {
+  for (VertexId ur = anchor_begin; ur < anchor_end; ++ur) {
     const auto nu = a.Neighbors(ur);
     const auto* vfirst = a.FirstBelowPriority(ur, ur);
     for (const auto* v = vfirst; v != nu.end(); ++v) {
@@ -71,6 +91,16 @@ void ForEachBloom(const AdjT& a, PairFn&& on_pair, WedgeFn&& on_wedge,
     for (const VertexId wr : touched) count[wr] = 0;
     touched.clear();
   }
+}
+
+template <bool kNeedWedges, typename AdjT, typename PairFn, typename WedgeFn,
+          typename AnchorDoneFn>
+void ForEachBloom(const AdjT& a, PairFn&& on_pair, WedgeFn&& on_wedge,
+                  AnchorDoneFn&& on_anchor_done) {
+  BloomScratch scratch;
+  scratch.Prepare(a.NumVertices());
+  ForEachBloomRange<kNeedWedges>(a, 0, a.NumVertices(), scratch, on_pair,
+                                 on_wedge, on_anchor_done);
 }
 
 // Local analogue of ForEachBloom for dynamic updates: enumerates every

@@ -37,7 +37,8 @@ void ForEachCoVertex(const BipartiteGraph& g, VertexId u, VertexId num_upper,
 
 }  // namespace
 
-TipResult TipDecomposition(const BipartiteGraph& g, bool peel_upper) {
+TipResult TipDecomposition(const BipartiteGraph& g, bool peel_upper,
+                           const ParallelOptions& parallel) {
   const VertexId num_upper = g.NumUpper();
   const VertexId num_side = peel_upper ? num_upper : g.NumLower();
   const auto global = [&](VertexId i) {
@@ -54,14 +55,41 @@ TipResult TipDecomposition(const BipartiteGraph& g, bool peel_upper) {
   std::vector<VertexId> touched;
 
   // Initial butterfly counts: a co-vertex pair with c common neighbors
-  // contributes C(c, 2) butterflies to both endpoints.
-  for (VertexId i = 0; i < num_side; ++i) {
-    std::uint64_t butterflies = 0;
-    ForEachCoVertex(g, global(i), num_upper, peel_upper, removed, &pair_count,
-                    &touched, [&](VertexId, std::uint64_t c) {
-                      butterflies += c * (c - 1) / 2;
-                    });
-    count[i] = butterflies;
+  // contributes C(c, 2) butterflies to both endpoints.  Each side vertex's
+  // aggregation is independent and writes only count[i], so the pass
+  // parallelizes over vertex chunks with per-thread scratch; every thread
+  // count produces the same counts.
+  const unsigned num_threads = ResolveNumThreads(parallel);
+  const auto count_range = [&](VertexId begin, VertexId end,
+                               std::vector<std::uint64_t>& pair_scratch,
+                               std::vector<VertexId>& touched_scratch) {
+    for (VertexId i = begin; i < end; ++i) {
+      std::uint64_t butterflies = 0;
+      ForEachCoVertex(g, global(i), num_upper, peel_upper, removed,
+                      &pair_scratch, &touched_scratch,
+                      [&](VertexId, std::uint64_t c) {
+                        butterflies += c * (c - 1) / 2;
+                      });
+      count[i] = butterflies;
+    }
+  };
+  if (num_threads <= 1) {
+    count_range(0, num_side, pair_count, touched);
+  } else {
+    ThreadPool pool(num_threads);
+    std::vector<std::vector<std::uint64_t>> pair_scratch(num_threads);
+    std::vector<std::vector<VertexId>> touched_scratch(num_threads);
+    pool.ParallelForChunks(
+        0, num_side, num_threads * 8,
+        [&](std::uint64_t begin, std::uint64_t end, unsigned,
+            unsigned thread) {
+          if (pair_scratch[thread].empty()) {
+            pair_scratch[thread].assign(num_side, 0);
+          }
+          count_range(static_cast<VertexId>(begin),
+                      static_cast<VertexId>(end), pair_scratch[thread],
+                      touched_scratch[thread]);
+        });
   }
 
   // Min-first peel with a lazy priority queue: stale entries (count changed

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "util/thread_pool.h"
 
 namespace bitruss {
 
@@ -33,8 +34,12 @@ struct TipResult {
 
 /// Tip decomposition of one side of g.  Initial per-vertex butterfly counts
 /// by wedge aggregation, then min-first peeling (lazy priority queue; counts
-/// are 64-bit, so degree-style dense buckets do not apply).
-TipResult TipDecomposition(const BipartiteGraph& g, bool peel_upper);
+/// are 64-bit, so degree-style dense buckets do not apply).  `parallel`
+/// spreads the initial counting pass over a thread pool (each side vertex's
+/// count is an independent wedge aggregation, so the result is identical at
+/// every thread count); the peel itself is sequential.
+TipResult TipDecomposition(const BipartiteGraph& g, bool peel_upper,
+                           const ParallelOptions& parallel = {});
 
 }  // namespace bitruss
 

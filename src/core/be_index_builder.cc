@@ -29,14 +29,29 @@ std::uint32_t BEIndex::EdgeLiveCount(EdgeId e) const {
 }
 
 std::vector<SupportT> BEIndex::ComputeSupports() const {
+  return ComputeSupports(nullptr);
+}
+
+std::vector<SupportT> BEIndex::ComputeSupports(ThreadPool* pool) const {
   std::vector<SupportT> sup(num_edges, 0);
-  for (EdgeId e = 0; e < num_edges; ++e) {
-    SupportT s = 0;
-    for (std::uint64_t i = edge_offsets[e]; i < edge_offsets[e + 1]; ++i) {
-      const WedgeId w = edge_wedges[i];
-      if (wedge_alive[w]) s += BloomK(wedge_bloom[w]) - 1;
+  const auto compute_range = [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t e = begin; e < end; ++e) {
+      SupportT s = 0;
+      for (std::uint64_t i = edge_offsets[e]; i < edge_offsets[e + 1]; ++i) {
+        const WedgeId w = edge_wedges[i];
+        if (wedge_alive[w]) s += BloomK(wedge_bloom[w]) - 1;
+      }
+      sup[e] = s;
     }
-    sup[e] = s;
+  };
+  if (pool == nullptr || pool->NumThreads() <= 1) {
+    compute_range(0, num_edges);
+  } else {
+    pool->ParallelForChunks(
+        0, num_edges, pool->NumThreads() * 8,
+        [&](std::uint64_t begin, std::uint64_t end, unsigned, unsigned) {
+          compute_range(begin, end);
+        });
   }
   return sup;
 }
@@ -92,23 +107,45 @@ struct FilteredAdj {
   }
 };
 
+// One anchor range's share of the enumeration.  Bloom ids are local to the
+// fragment; a bloom is an (anchor, endpoint) pair, so blooms never span
+// fragments and concatenating fragments in anchor order reproduces the
+// sequential bloom/wedge numbering exactly.
+struct BuildFragment {
+  std::vector<EdgeId> wedge_e1;
+  std::vector<EdgeId> wedge_e2;
+  std::vector<BloomId> wedge_bloom;   // fragment-local ids
+  std::vector<SupportT> bloom_count;  // stored wedges per local bloom
+  std::vector<SupportT> bloom_base;
+};
+
+// Per-thread enumeration scratch, reused across the thread's fragments.
+// pair_bloom/pair_base are valid for one anchor iteration and restored to
+// kNoBloom/0 by the anchor-done hook, so reuse needs no re-initialization.
+constexpr BloomId kNoBloom = static_cast<BloomId>(-1);
+struct BuildScratch {
+  internal::BloomScratch bloom;
+  std::vector<BloomId> pair_bloom;
+  std::vector<SupportT> pair_base;
+
+  void Prepare(VertexId n) {
+    bloom.Prepare(n);
+    pair_bloom.assign(n, kNoBloom);
+    pair_base.assign(n, 0);
+  }
+  bool Prepared() const { return !pair_bloom.empty(); }
+};
+
 template <typename AdjT>
-BEIndex BuildImpl(EdgeId num_edges, const AdjT& a,
-                  const std::vector<std::uint8_t>& assigned) {
-  BEIndex index;
-  index.num_edges = num_edges;
-  const VertexId n = a.NumVertices();
-
-  // Per-endpoint scratch, valid for one anchor iteration.
-  constexpr BloomId kNoBloom = static_cast<BloomId>(-1);
-  std::vector<BloomId> pair_bloom(n, kNoBloom);
-  std::vector<SupportT> pair_base(n, 0);
-
-  std::vector<SupportT> bloom_count;  // stored wedges per bloom
-
+void EnumerateFragment(const AdjT& a, VertexId anchor_begin,
+                       VertexId anchor_end,
+                       const std::vector<std::uint8_t>& assigned,
+                       BuildScratch& scratch, BuildFragment* frag) {
   const bool has_assigned = !assigned.empty();
-  internal::ForEachBloom<true>(
-      a, [](VertexId, SupportT) {},
+  std::vector<BloomId>& pair_bloom = scratch.pair_bloom;
+  std::vector<SupportT>& pair_base = scratch.pair_base;
+  internal::ForEachBloomRange<true>(
+      a, anchor_begin, anchor_end, scratch.bloom, [](VertexId, SupportT) {},
       [&](VertexId wr, SupportT, EdgeId e1, EdgeId e2) {
         if (has_assigned && assigned[e1] && assigned[e2]) {
           // Both bitruss numbers known: fold into the bloom base count.
@@ -117,25 +154,95 @@ BEIndex BuildImpl(EdgeId num_edges, const AdjT& a,
         }
         BloomId b = pair_bloom[wr];
         if (b == kNoBloom) {
-          b = static_cast<BloomId>(bloom_count.size());
+          b = static_cast<BloomId>(frag->bloom_count.size());
           pair_bloom[wr] = b;
-          bloom_count.push_back(0);
-          index.bloom_base.push_back(0);
+          frag->bloom_count.push_back(0);
+          frag->bloom_base.push_back(0);
         }
-        ++bloom_count[b];
-        index.wedge_e1.push_back(e1);
-        index.wedge_e2.push_back(e2);
-        index.wedge_bloom.push_back(b);
+        ++frag->bloom_count[b];
+        frag->wedge_e1.push_back(e1);
+        frag->wedge_e2.push_back(e2);
+        frag->wedge_bloom.push_back(b);
       },
       [&](const std::vector<VertexId>& touched) {
         for (const VertexId wr : touched) {
           if (pair_bloom[wr] != kNoBloom) {
-            index.bloom_base[pair_bloom[wr]] = pair_base[wr];
+            frag->bloom_base[pair_bloom[wr]] = pair_base[wr];
           }
           pair_base[wr] = 0;
           pair_bloom[wr] = kNoBloom;
         }
       });
+}
+
+template <typename AdjT>
+BEIndex BuildImpl(EdgeId num_edges, const AdjT& a,
+                  const std::vector<std::uint8_t>& assigned,
+                  ThreadPool* pool) {
+  BEIndex index;
+  index.num_edges = num_edges;
+  const VertexId n = a.NumVertices();
+
+  std::vector<SupportT> bloom_count;  // stored wedges per bloom
+
+  if (pool == nullptr || pool->NumThreads() <= 1) {
+    BuildScratch scratch;
+    scratch.Prepare(n);
+    BuildFragment frag;
+    EnumerateFragment(a, 0, n, assigned, scratch, &frag);
+    index.wedge_e1 = std::move(frag.wedge_e1);
+    index.wedge_e2 = std::move(frag.wedge_e2);
+    index.wedge_bloom = std::move(frag.wedge_bloom);
+    index.bloom_base = std::move(frag.bloom_base);
+    bloom_count = std::move(frag.bloom_count);
+  } else {
+    // Fragments keyed by chunk index, enumerated under a shared cursor and
+    // concatenated in chunk (= anchor) order: byte-identical to the
+    // sequential build no matter which thread ran which chunk.
+    const unsigned num_threads = pool->NumThreads();
+    const unsigned num_chunks =
+        n == 0 ? 1
+               : static_cast<unsigned>(std::min<std::uint64_t>(
+                     static_cast<std::uint64_t>(num_threads) * 8, n));
+    std::vector<BuildFragment> fragments(num_chunks);
+    std::vector<BuildScratch> scratch(num_threads);
+    pool->ParallelForChunks(
+        0, n, num_chunks,
+        [&](std::uint64_t begin, std::uint64_t end, unsigned chunk,
+            unsigned thread) {
+          if (!scratch[thread].Prepared()) scratch[thread].Prepare(n);
+          EnumerateFragment(a, static_cast<VertexId>(begin),
+                            static_cast<VertexId>(end), assigned,
+                            scratch[thread], &fragments[chunk]);
+        });
+
+    std::uint64_t total_wedges = 0;
+    std::uint64_t total_blooms = 0;
+    for (const BuildFragment& frag : fragments) {
+      total_wedges += frag.wedge_e1.size();
+      total_blooms += frag.bloom_count.size();
+    }
+    index.wedge_e1.reserve(total_wedges);
+    index.wedge_e2.reserve(total_wedges);
+    index.wedge_bloom.reserve(total_wedges);
+    index.bloom_base.reserve(total_blooms);
+    bloom_count.reserve(total_blooms);
+    for (BuildFragment& frag : fragments) {
+      const BloomId bloom_offset = static_cast<BloomId>(bloom_count.size());
+      index.wedge_e1.insert(index.wedge_e1.end(), frag.wedge_e1.begin(),
+                            frag.wedge_e1.end());
+      index.wedge_e2.insert(index.wedge_e2.end(), frag.wedge_e2.begin(),
+                            frag.wedge_e2.end());
+      for (const BloomId b : frag.wedge_bloom) {
+        index.wedge_bloom.push_back(b + bloom_offset);
+      }
+      index.bloom_base.insert(index.bloom_base.end(), frag.bloom_base.begin(),
+                              frag.bloom_base.end());
+      bloom_count.insert(bloom_count.end(), frag.bloom_count.begin(),
+                         frag.bloom_count.end());
+      frag = BuildFragment();  // release as we go; peak stays ~2x one copy
+    }
+  }
 
   const std::uint64_t num_wedges = index.wedge_e1.size();
   if (num_wedges > UINT32_MAX) {
@@ -188,23 +295,23 @@ BEIndex BuildImpl(EdgeId num_edges, const AdjT& a,
 }  // namespace
 
 BEIndex BEIndexBuilder::Build(const BipartiteGraph& g,
-                              const PriorityAdjacency& adj) {
-  return BuildImpl(g.NumEdges(), adj, {});
+                              const PriorityAdjacency& adj, ThreadPool* pool) {
+  return BuildImpl(g.NumEdges(), adj, {}, pool);
 }
 
 BEIndex BEIndexBuilder::BuildCompressed(
     const BipartiteGraph& g, const PriorityAdjacency& adj,
-    const std::vector<std::uint8_t>& assigned) {
-  return BuildImpl(g.NumEdges(), adj, assigned);
+    const std::vector<std::uint8_t>& assigned, ThreadPool* pool) {
+  return BuildImpl(g.NumEdges(), adj, assigned, pool);
 }
 
 BEIndex BEIndexBuilder::BuildCompressed(
     const BipartiteGraph& g, const PriorityAdjacency& adj,
     const std::vector<std::uint8_t>& assigned,
-    const std::vector<std::uint8_t>& included) {
-  if (included.empty()) return BuildImpl(g.NumEdges(), adj, assigned);
+    const std::vector<std::uint8_t>& included, ThreadPool* pool) {
+  if (included.empty()) return BuildImpl(g.NumEdges(), adj, assigned, pool);
   const FilteredAdj filtered(adj, included);
-  return BuildImpl(g.NumEdges(), filtered, assigned);
+  return BuildImpl(g.NumEdges(), filtered, assigned, pool);
 }
 
 }  // namespace bitruss

@@ -27,6 +27,7 @@
 
 #include "graph/bipartite_graph.h"
 #include "graph/vertex_priority.h"
+#include "util/thread_pool.h"
 
 namespace bitruss {
 
@@ -69,22 +70,31 @@ struct BEIndex {
   std::uint32_t EdgeLiveCount(EdgeId e) const;
 
   /// sup(e) = sum of (k(B) - 1) over live wedges of e (Lemma 4).  Edges
-  /// without wedges (or excluded from a compressed index) read 0.
+  /// without wedges (or excluded from a compressed index) read 0.  The
+  /// pool-taking overload parallelizes over edge ranges (each edge is an
+  /// independent read), bit-identical at every thread count; BiT-PC's
+  /// cascade recount passes go through it.
   std::vector<SupportT> ComputeSupports() const;
+  std::vector<SupportT> ComputeSupports(ThreadPool* pool) const;
 
   std::uint64_t MemoryBytes() const;
 };
 
 class BEIndexBuilder {
  public:
-  /// Full BE-Index over every edge of g.
-  static BEIndex Build(const BipartiteGraph& g, const PriorityAdjacency& adj);
+  /// Full BE-Index over every edge of g.  When `pool` is non-null with more
+  /// than one thread, the wedge enumeration is partitioned over anchor
+  /// chunks and the fragments concatenated in anchor order — the result is
+  /// byte-identical to the sequential build at every thread count.
+  static BEIndex Build(const BipartiteGraph& g, const PriorityAdjacency& adj,
+                       ThreadPool* pool = nullptr);
 
   /// Compressed index over all edges, folding wedges whose two edges are
   /// both `assigned` into the bloom base counts.
   static BEIndex BuildCompressed(const BipartiteGraph& g,
                                  const PriorityAdjacency& adj,
-                                 const std::vector<std::uint8_t>& assigned);
+                                 const std::vector<std::uint8_t>& assigned,
+                                 ThreadPool* pool = nullptr);
 
   /// Compressed index over the subgraph {e : included[e] != 0}; wedges with
   /// an excluded edge are dropped entirely.  `included` may be empty to
@@ -92,7 +102,8 @@ class BEIndexBuilder {
   static BEIndex BuildCompressed(const BipartiteGraph& g,
                                  const PriorityAdjacency& adj,
                                  const std::vector<std::uint8_t>& assigned,
-                                 const std::vector<std::uint8_t>& included);
+                                 const std::vector<std::uint8_t>& included,
+                                 ThreadPool* pool = nullptr);
 };
 
 }  // namespace bitruss

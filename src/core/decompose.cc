@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
 
 #include "butterfly/butterfly_counting.h"
 #include "core/be_index_builder.h"
@@ -94,9 +95,10 @@ void PeelBS(const BipartiteGraph& g, std::vector<SupportT> sup,
 
 void RunIndexed(const BipartiteGraph& g, const PriorityAdjacency& adj,
                 std::vector<SupportT> sup, Peeler::Mode mode,
-                const DecomposeOptions& options, BitrussResult* result) {
+                const DecomposeOptions& options, ThreadPool* pool,
+                BitrussResult* result) {
   Timer timer;
-  BEIndex index = BEIndexBuilder::Build(g, adj);
+  BEIndex index = BEIndexBuilder::Build(g, adj, pool);
   result->counters.peak_index_bytes = index.MemoryBytes();
   result->counters.counting_seconds += timer.Seconds();
 
@@ -127,7 +129,7 @@ void RunIndexed(const BipartiteGraph& g, const PriorityAdjacency& adj,
 // storm (Figure 7's observation).
 void RunPC(const BipartiteGraph& g, const PriorityAdjacency& adj,
            const std::vector<SupportT>& sup_g, const DecomposeOptions& options,
-           BitrussResult* result) {
+           ThreadPool* pool, BitrussResult* result) {
   const EdgeId m = g.NumEdges();
   Timer timer;
   std::vector<std::uint8_t> assigned(m, 0);
@@ -178,8 +180,10 @@ void RunPC(const BipartiteGraph& g, const PriorityAdjacency& adj,
     std::vector<SupportT> sup_sub;
     bool converged = false;
     while (!converged && !options.deadline.Expired()) {
-      index = BEIndexBuilder::BuildCompressed(g, adj, assigned, included);
-      sup_sub = index.ComputeSupports();
+      // The cascade recount is the PC hot path: both the compressed build
+      // and the Lemma 4 support scan run over the pool.
+      index = BEIndexBuilder::BuildCompressed(g, adj, assigned, included, pool);
+      sup_sub = index.ComputeSupports(pool);
       converged = true;
       if (theta == 0) break;
       for (EdgeId e = 0; e < m; ++e) {
@@ -257,11 +261,16 @@ BitrussResult Decompose(const BipartiteGraph& g,
     result.counters.per_edge_updates.assign(m, 0);
   }
 
+  const unsigned num_threads = ResolveNumThreads(options.parallel);
+  std::optional<ThreadPool> owned_pool;
+  if (num_threads > 1) owned_pool.emplace(num_threads);
+  ThreadPool* pool = owned_pool ? &*owned_pool : nullptr;
+
   Timer timer;
   const VertexPriority priority =
       VertexPriority::Compute(g, options.priority_rule);
   const PriorityAdjacency adj(g, priority);
-  std::vector<SupportT> sup = CountEdgeSupports(g, adj);
+  std::vector<SupportT> sup = CountEdgeSupports(g, adj, pool);
   result.original_support = sup;
   std::uint64_t support_sum = 0;
   for (const SupportT s : sup) support_sum += s;
@@ -276,19 +285,19 @@ BitrussResult Decompose(const BipartiteGraph& g,
       break;
     }
     case Algorithm::kBU:
-      RunIndexed(g, adj, std::move(sup), Peeler::Mode::kSingle, options,
+      RunIndexed(g, adj, std::move(sup), Peeler::Mode::kSingle, options, pool,
                  &result);
       break;
     case Algorithm::kBUPlus:
       RunIndexed(g, adj, std::move(sup), Peeler::Mode::kBatchEdges, options,
-                 &result);
+                 pool, &result);
       break;
     case Algorithm::kBUPlusPlus:
       RunIndexed(g, adj, std::move(sup), Peeler::Mode::kBatchBlooms, options,
-                 &result);
+                 pool, &result);
       break;
     case Algorithm::kPC:
-      RunPC(g, adj, sup, options, &result);
+      RunPC(g, adj, sup, options, pool, &result);
       break;
   }
   return result;

@@ -23,6 +23,7 @@
 #include "core/bitruss_result.h"
 #include "graph/bipartite_graph.h"
 #include "graph/vertex_priority.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace bitruss {
@@ -45,6 +46,11 @@ struct DecomposeOptions {
   bool track_per_edge_updates = false;
   /// Vertex ordering; any total order is correct (kIdOnly is for ablation).
   PriorityRule priority_rule = PriorityRule::kDegreeThenId;
+  /// Thread count for support counting, BE-Index construction and BiT-PC's
+  /// cascade recount passes (peeling itself stays sequential here; see
+  /// core/parallel_peel.h for the parallel peeler).  Results are
+  /// bit-identical at every thread count.
+  ParallelOptions parallel;
 };
 
 BitrussResult Decompose(const BipartiteGraph& g,

@@ -1,0 +1,210 @@
+#include "core/parallel_peel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "butterfly/butterfly_counting.h"
+#include "graph/vertex_priority.h"
+
+namespace bitruss {
+
+namespace {
+
+// Frontier edges processed per deadline poll inside an enumeration chunk.
+constexpr std::uint64_t kEdgesPerPoll = 64;
+// Below this frontier size a round runs inline on the calling thread — the
+// dispatch handshake would cost more than the enumeration.  Both paths
+// compute identical deltas, so the cutoff never changes results.
+constexpr std::uint64_t kMinFrontierForDispatch = 64;
+
+// Per-thread peeling scratch, allocated lazily on first use and reused
+// across rounds.  `delta[e]` accumulates this round's support losses for
+// surviving edge e; `touched` lists the edges with delta > 0 so the merge
+// and the reset both cost O(touched), not O(m).
+struct PeelScratch {
+  std::vector<SupportT> delta;
+  std::vector<EdgeId> touched;
+  std::vector<std::uint64_t> stamp;
+  std::vector<EdgeId> stamp_edge;
+  std::uint64_t epoch = 0;
+  std::uint64_t updates = 0;
+
+  bool Prepared() const { return !stamp.empty(); }
+  void Prepare(EdgeId m, VertexId n) {
+    delta.assign(m, 0);
+    touched.reserve(1024);
+    stamp.assign(n, 0);
+    stamp_edge.assign(n, kInvalidEdge);
+  }
+};
+
+}  // namespace
+
+BitrussResult DecomposeParallelPeel(const BipartiteGraph& g,
+                                    const ParallelPeelOptions& options) {
+  BitrussResult result;
+  const EdgeId m = g.NumEdges();
+  const VertexId n = g.NumVertices();
+  result.phi.assign(m, 0);
+  if (m == 0) return result;
+
+  const unsigned num_threads = ResolveNumThreads({options.num_threads});
+  ThreadPool pool(num_threads);
+
+  // Phase 1: parallel exact support counting (bit-identical to the
+  // sequential BFC-VP count; anchor chunks poll the deadline).
+  Timer timer;
+  std::vector<SupportT> sup;
+  {
+    const VertexPriority priority = VertexPriority::Compute(g);
+    const PriorityAdjacency adj(g, priority);
+    bool expired = false;
+    sup = CountEdgeSupports(g, adj, &pool, options.deadline, &expired);
+    if (expired) {
+      result.timed_out = true;
+      return result;
+    }
+  }
+  std::uint64_t support_sum = 0;
+  for (const SupportT s : sup) support_sum += s;
+  result.total_butterflies = support_sum / 4;  // every butterfly has 4 edges
+  result.original_support = sup;
+  result.counters.counting_seconds = timer.Seconds();
+  timer.Reset();
+
+  // Phase 2: round-based peeling.  `removed` marks edges peeled in earlier
+  // rounds, `dying` the current frontier; both are written only between
+  // parallel regions, so enumeration chunks read them race-free.
+  std::vector<std::uint8_t> removed(m, 0);
+  std::vector<std::uint8_t> dying(m, 0);
+
+  const SupportT max_sup = *std::max_element(sup.begin(), sup.end());
+  std::vector<std::vector<EdgeId>> buckets(
+      static_cast<std::size_t>(max_sup) + 1);
+  for (EdgeId e = 0; e < m; ++e) buckets[sup[e]].push_back(e);
+
+  std::vector<PeelScratch> scratch(num_threads);
+  std::vector<EdgeId> frontier;
+  std::atomic<bool> abort{false};
+
+  // Enumerates the butterflies of frontier[begin, end) on the surviving
+  // graph.  A butterfly is charged to its minimum-id frontier edge, so each
+  // lost butterfly decrements each of its surviving edges exactly once
+  // across all chunks.
+  const auto enumerate_chunk = [&](std::uint64_t begin, std::uint64_t end,
+                                   unsigned /*chunk*/, unsigned thread) {
+    PeelScratch& s = scratch[thread];
+    if (!s.Prepared()) s.Prepare(m, n);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (options.deadline.IsFinite() && i % kEdgesPerPoll == 0) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        if (options.deadline.Expired()) {
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      const EdgeId e = frontier[i];
+      if (sup[e] == 0) continue;  // no surviving butterflies to discount
+      const VertexId u = g.EdgeUpper(e);
+      const VertexId v = g.EdgeLower(e);
+      ++s.epoch;
+      for (const auto& [y, ey] : g.Neighbors(u)) {
+        if (y != v && !removed[ey]) {
+          s.stamp[y] = s.epoch;
+          s.stamp_edge[y] = ey;
+        }
+      }
+      for (const auto& [w, ew] : g.Neighbors(v)) {
+        if (w == u || removed[ew]) continue;
+        for (const auto& [y, ewy] : g.Neighbors(w)) {
+          if (y == v || removed[ewy] || s.stamp[y] != s.epoch) continue;
+          // Butterfly {u, v, w, y} with edges {e, euy, ew, ewy}.
+          const EdgeId euy = s.stamp_edge[y];
+          if ((dying[euy] && euy < e) || (dying[ew] && ew < e) ||
+              (dying[ewy] && ewy < e)) {
+            continue;  // charged to a smaller frontier edge
+          }
+          for (const EdgeId f : {euy, ew, ewy}) {
+            if (!dying[f]) {
+              if (s.delta[f]++ == 0) s.touched.push_back(f);
+              ++s.updates;
+            }
+          }
+        }
+      }
+    }
+  };
+
+  SupportT level = 0;
+  std::uint64_t cursor = 0;  // lowest possibly non-empty bucket
+  EdgeId remaining = m;
+  while (remaining > 0) {
+    if (options.deadline.Expired()) {
+      result.timed_out = true;
+      break;
+    }
+    while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
+    if (cursor >= buckets.size()) break;  // defensive; cannot happen
+    level = std::max(level, static_cast<SupportT>(cursor));
+
+    // Frontier: every alive edge with sup <= level.  Buckets hold one
+    // current entry per alive edge (plus stale ones, skipped by the
+    // sup[e] == b check), so draining [cursor, level] collects the set.
+    frontier.clear();
+    for (std::uint64_t b = cursor; b <= level; ++b) {
+      for (const EdgeId e : buckets[b]) {
+        if (!removed[e] && !dying[e] && sup[e] == b) {
+          dying[e] = 1;
+          frontier.push_back(e);
+        }
+      }
+      buckets[b].clear();
+    }
+    cursor = static_cast<std::uint64_t>(level) + 1;
+    if (frontier.empty()) continue;
+
+    // A frontier edge's support can only keep falling, so the sequential
+    // peeler would pop every one of them before the level rises: phi is
+    // exactly `level`, and it stays correct even if the deadline expires
+    // before the round's updates land.
+    for (const EdgeId e : frontier) result.phi[e] = level;
+
+    pool.ParallelForChunks(
+        0, frontier.size(),
+        frontier.size() < kMinFrontierForDispatch ? 1 : num_threads * 4,
+        enumerate_chunk);
+    if (abort.load(std::memory_order_relaxed)) {
+      result.timed_out = true;
+      break;
+    }
+
+    // Deterministic merge, sequential over threads: sup(f) ends at its
+    // start value minus the total delta, whatever the chunk schedule was.
+    for (PeelScratch& s : scratch) {
+      for (const EdgeId f : s.touched) {
+        const SupportT d = s.delta[f];
+        s.delta[f] = 0;
+        assert(!removed[f] && !dying[f] && sup[f] >= d);
+        sup[f] = sup[f] >= d ? sup[f] - d : 0;
+        buckets[sup[f]].push_back(f);
+        if (sup[f] < cursor) cursor = sup[f];
+      }
+      s.touched.clear();
+    }
+
+    for (const EdgeId e : frontier) {
+      removed[e] = 1;
+      dying[e] = 0;
+    }
+    remaining -= static_cast<EdgeId>(frontier.size());
+  }
+
+  for (const PeelScratch& s : scratch) {
+    result.counters.support_updates += s.updates;
+  }
+  result.counters.peeling_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace bitruss

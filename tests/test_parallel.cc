@@ -1,0 +1,331 @@
+// The parallel execution layer: ThreadPool/ParallelFor semantics, parallel
+// counting and BE-Index construction equivalence, round-based parallel
+// peeling vs the sequential decomposition, run-to-run determinism, and the
+// deadline-timeout contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "butterfly/butterfly_counting.h"
+#include "cohesion/ab_core.h"
+#include "cohesion/tip_decomposition.h"
+#include "core/be_index_builder.h"
+#include "core/decompose.h"
+#include "core/parallel_peel.h"
+#include "gen/dataset_suite.h"
+#include "graph/vertex_priority.h"
+#include "util/thread_pool.h"
+
+namespace bitruss {
+namespace {
+
+// Small enough that the 15-dataset x 4-thread-count sweeps stay in unit-test
+// budget, large enough that every dataset has nontrivial butterflies.
+constexpr double kSuiteScale = 0.04;
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ParallelFor semantics
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, EmptyRangeNeverInvokes) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, [&](std::uint64_t, std::uint64_t, unsigned) {
+    ++calls;
+  });
+  pool.ParallelFor(7, 7, [&](std::uint64_t, std::uint64_t, unsigned) {
+    ++calls;
+  });
+  pool.ParallelForChunks(
+      3, 3, 16, [&](std::uint64_t, std::uint64_t, unsigned, unsigned) {
+        ++calls;
+      });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(0, visits.size(),
+                   [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                     for (std::uint64_t i = begin; i < end; ++i) ++visits[i];
+                   });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, RangeSmallerThanPool) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  std::atomic<unsigned> max_thread{0};
+  pool.ParallelForChunks(
+      0, visits.size(), 16,
+      [&](std::uint64_t begin, std::uint64_t end, unsigned chunk,
+          unsigned thread) {
+        // Clamped to one chunk per element: chunk index == element index.
+        EXPECT_EQ(end, begin + 1);
+        EXPECT_EQ(chunk, begin);
+        unsigned seen = max_thread.load();
+        while (thread > seen && !max_thread.compare_exchange_weak(seen, thread)) {
+        }
+        for (std::uint64_t i = begin; i < end; ++i) ++visits[i];
+      });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  EXPECT_LT(max_thread.load(), pool.NumThreads());
+}
+
+TEST(ThreadPool, ChunkPartitionIsDeterministic) {
+  ThreadPool pool(3);
+  const auto collect = [&] {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> bounds(7);
+    pool.ParallelForChunks(10, 94, 7,
+                           [&](std::uint64_t begin, std::uint64_t end,
+                               unsigned chunk, unsigned) {
+                             bounds[chunk] = {begin, end};
+                           });
+    return bounds;
+  };
+  const auto a = collect();
+  const auto b = collect();
+  EXPECT_EQ(a, b);
+  // Chunks tile the range contiguously.
+  std::uint64_t expect_begin = 10;
+  for (const auto& [begin, end] : a) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_LE(begin, end);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 94u);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossRegions) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.ParallelFor(0, 100, [&](std::uint64_t begin, std::uint64_t end,
+                                 unsigned) {
+      std::uint64_t local = 0;
+      for (std::uint64_t i = begin; i < end; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ResolveNumThreads, OptionBeatsEnvironmentBeatsDefault) {
+  const char* saved = std::getenv("BITRUSS_NUM_THREADS");
+  const std::string saved_copy = saved ? saved : "";
+
+  unsetenv("BITRUSS_NUM_THREADS");
+  EXPECT_EQ(ResolveNumThreads({}), 1u);
+  EXPECT_EQ(ResolveNumThreads({6}), 6u);
+
+  setenv("BITRUSS_NUM_THREADS", "3", 1);
+  EXPECT_EQ(ResolveNumThreads({}), 3u);
+  EXPECT_EQ(ResolveNumThreads({6}), 6u) << "explicit option must win";
+
+  setenv("BITRUSS_NUM_THREADS", "garbage", 1);
+  EXPECT_EQ(ResolveNumThreads({}), 1u);
+  setenv("BITRUSS_NUM_THREADS", "100000", 1);
+  EXPECT_EQ(ResolveNumThreads({}), 256u) << "clamped";
+
+  if (saved) {
+    setenv("BITRUSS_NUM_THREADS", saved_copy.c_str(), 1);
+  } else {
+    unsetenv("BITRUSS_NUM_THREADS");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel counting and index construction
+// ---------------------------------------------------------------------------
+
+TEST(ParallelCounting, SupportsAndTotalsMatchSequentialAtEveryThreadCount) {
+  for (const std::string& name : DatasetNames()) {
+    const BipartiteGraph g = MakeDataset(name, kSuiteScale);
+    const VertexPriority priority = VertexPriority::Compute(g);
+    const PriorityAdjacency adj(g, priority);
+    const std::vector<SupportT> expect_sup = CountEdgeSupports(g, adj);
+    const std::uint64_t expect_total = CountTotalButterflies(g, adj);
+    for (const unsigned threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(CountEdgeSupports(g, adj, &pool), expect_sup)
+          << name << " x" << threads;
+      EXPECT_EQ(CountTotalButterflies(g, adj, &pool), expect_total)
+          << name << " x" << threads;
+    }
+  }
+}
+
+TEST(ParallelBEIndex, BuildIsByteIdenticalToSequential) {
+  for (const char* name : {"Github", "Amazon", "D-style"}) {
+    const BipartiteGraph g = MakeDataset(name, kSuiteScale);
+    const VertexPriority priority = VertexPriority::Compute(g);
+    const PriorityAdjacency adj(g, priority);
+    const BEIndex expect = BEIndexBuilder::Build(g, adj);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      const BEIndex got = BEIndexBuilder::Build(g, adj, &pool);
+      EXPECT_EQ(got.wedge_e1, expect.wedge_e1) << name << " x" << threads;
+      EXPECT_EQ(got.wedge_e2, expect.wedge_e2) << name << " x" << threads;
+      EXPECT_EQ(got.wedge_bloom, expect.wedge_bloom) << name;
+      EXPECT_EQ(got.bloom_offsets, expect.bloom_offsets) << name;
+      EXPECT_EQ(got.bloom_slots, expect.bloom_slots) << name;
+      EXPECT_EQ(got.bloom_live, expect.bloom_live) << name;
+      EXPECT_EQ(got.bloom_base, expect.bloom_base) << name;
+      EXPECT_EQ(got.edge_offsets, expect.edge_offsets) << name;
+      EXPECT_EQ(got.edge_wedges, expect.edge_wedges) << name;
+      EXPECT_EQ(got.ComputeSupports(&pool), expect.ComputeSupports()) << name;
+    }
+  }
+}
+
+TEST(ParallelDecompose, CountingAndIndexFedPipelinesMatchSequential) {
+  // Parallel counting + parallel BE build + (for kPC) parallel cascade
+  // recounts behind the ordinary Decompose()/DecomposeWithCorePruning()
+  // entry points.
+  for (const char* name : {"Twitter", "D-style"}) {
+    const BipartiteGraph g = MakeDataset(name, kSuiteScale);
+    for (const Algorithm algorithm :
+         {Algorithm::kBUPlusPlus, Algorithm::kPC}) {
+      DecomposeOptions sequential;
+      sequential.algorithm = algorithm;
+      const BitrussResult expect = Decompose(g, sequential);
+      DecomposeOptions parallel = sequential;
+      parallel.parallel.num_threads = 4;
+      const BitrussResult got = Decompose(g, parallel);
+      EXPECT_EQ(got.phi, expect.phi) << name;
+      EXPECT_EQ(got.original_support, expect.original_support) << name;
+      EXPECT_EQ(got.total_butterflies, expect.total_butterflies) << name;
+
+      const BitrussResult pruned = DecomposeWithCorePruning(g, parallel);
+      EXPECT_EQ(pruned.phi, expect.phi) << name;
+    }
+  }
+}
+
+TEST(ParallelTip, InitialCountsMatchSequential) {
+  for (const char* name : {"Github", "D-style"}) {
+    const BipartiteGraph g = MakeDataset(name, kSuiteScale);
+    for (const bool peel_upper : {true, false}) {
+      const TipResult expect = TipDecomposition(g, peel_upper);
+      for (const unsigned threads : {2u, 8u}) {
+        const TipResult got = TipDecomposition(g, peel_upper, {threads});
+        EXPECT_EQ(got.theta, expect.theta) << name << " x" << threads;
+        EXPECT_EQ(got.max_tip, expect.max_tip) << name;
+        EXPECT_EQ(got.count_updates, expect.count_updates) << name;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-based parallel peeling
+// ---------------------------------------------------------------------------
+
+TEST(ParallelPeel, PhiMatchesSequentialAcrossSuiteAndThreadCounts) {
+  for (const std::string& name : DatasetNames()) {
+    const BipartiteGraph g = MakeDataset(name, kSuiteScale);
+    const BitrussResult expect = Decompose(g);
+    for (const unsigned threads : kThreadCounts) {
+      ParallelPeelOptions options;
+      options.num_threads = threads;
+      const BitrussResult got = DecomposeParallelPeel(g, options);
+      ASSERT_FALSE(got.timed_out) << name << " x" << threads;
+      EXPECT_EQ(got.phi, expect.phi) << name << " x" << threads;
+      EXPECT_EQ(got.original_support, expect.original_support) << name;
+      EXPECT_EQ(got.total_butterflies, expect.total_butterflies) << name;
+    }
+  }
+}
+
+TEST(ParallelPeel, EightThreadRunsAreBitIdentical) {
+  for (const char* name : {"Twitter", "D-style", "Amazon"}) {
+    const BipartiteGraph g = MakeDataset(name, kSuiteScale);
+    ParallelPeelOptions options;
+    options.num_threads = 8;
+    const BitrussResult a = DecomposeParallelPeel(g, options);
+    const BitrussResult b = DecomposeParallelPeel(g, options);
+    EXPECT_EQ(a.phi, b.phi) << name;
+    EXPECT_EQ(a.original_support, b.original_support) << name;
+    EXPECT_EQ(a.total_butterflies, b.total_butterflies) << name;
+    EXPECT_EQ(a.counters.support_updates, b.counters.support_updates) << name;
+  }
+}
+
+TEST(ParallelPeel, EmptyAndTinyGraphs) {
+  const BipartiteGraph empty(2, 2, {});
+  ParallelPeelOptions options;
+  options.num_threads = 4;
+  const BitrussResult r = DecomposeParallelPeel(empty, options);
+  EXPECT_TRUE(r.phi.empty());
+  EXPECT_EQ(r.total_butterflies, 0u);
+
+  // One butterfly: all four edges have phi 1.
+  const BipartiteGraph square(2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  const BitrussResult s = DecomposeParallelPeel(square, options);
+  EXPECT_EQ(s.phi, (std::vector<SupportT>{1, 1, 1, 1}));
+  EXPECT_EQ(s.total_butterflies, 1u);
+}
+
+TEST(ParallelPeel, ExpiredDeadlineReturnsPartialWithTimedOutSet) {
+  const BipartiteGraph g = MakeDataset("Twitter", kSuiteScale);
+  for (const unsigned threads : {1u, 4u}) {
+    ParallelPeelOptions options;
+    options.num_threads = threads;
+    options.deadline = Deadline::After(0);
+    const BitrussResult got = DecomposeParallelPeel(g, options);
+    EXPECT_TRUE(got.timed_out) << "x" << threads;
+    EXPECT_EQ(got.phi.size(), static_cast<std::size_t>(g.NumEdges()));
+  }
+}
+
+TEST(ParallelPeel, PartialPhiOfTimedOutRunIsAPrefixOfTheTruth) {
+  // Whatever a timed-out run managed to assign must be the true bitruss
+  // number — the contract that makes partial results usable.
+  const BipartiteGraph g = MakeDataset("D-label", kSuiteScale);
+  const BitrussResult expect = Decompose(g);
+  // A deadline long enough to finish counting but tight for peeling; if
+  // the run happens to complete, the check degenerates to full equality.
+  ParallelPeelOptions options;
+  options.num_threads = 2;
+  options.deadline = Deadline::After(0.01);
+  const BitrussResult got = DecomposeParallelPeel(g, options);
+  if (got.timed_out && got.original_support.empty()) {
+    return;  // expired during counting: nothing assigned, nothing to check
+  }
+  std::uint64_t assigned = 0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (got.phi[e] != 0) {
+      EXPECT_EQ(got.phi[e], expect.phi[e]) << "edge " << e;
+      ++assigned;
+    }
+  }
+  if (!got.timed_out) {
+    EXPECT_EQ(got.phi, expect.phi);
+  } else {
+    // Not all edges were assigned (phi==0 edges may be unprocessed).
+    EXPECT_LE(assigned, static_cast<std::uint64_t>(g.NumEdges()));
+  }
+}
+
+TEST(ParallelCounting, ExpiredDeadlineAbortsWithoutPartialCounts) {
+  const BipartiteGraph g = MakeDataset("Github", kSuiteScale);
+  const VertexPriority priority = VertexPriority::Compute(g);
+  const PriorityAdjacency adj(g, priority);
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    bool expired = false;
+    const std::vector<SupportT> sup =
+        CountEdgeSupports(g, adj, &pool, Deadline::After(0), &expired);
+    EXPECT_TRUE(expired) << "x" << threads;
+    EXPECT_TRUE(sup.empty()) << "x" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace bitruss
