@@ -1,0 +1,224 @@
+// Closed-loop serving bench: 1 ingest thread + N reader threads against a
+// BitrussService, the measured form of the ROADMAP's "serve heavy traffic"
+// claim.
+//
+// Protocol, per dataset and reader count: a BitrussService is seeded from
+// the stand-in graph; one ingest thread submits a cyclic mixed
+// insert/delete stream (forward half + mirrored undo half, so the cycle
+// returns to the seed state and can repeat indefinitely), retrying on
+// backpressure; N reader threads run over the PR 5 thread pool
+// (util/thread_pool.h), each in a tight loop of snapshot acquisition +
+// point phi/support reads + periodic top-k, sampling staleness
+// (writer-applied updates minus the snapshot's covered updates) on every
+// acquisition.  After BITRUSS_SERVE_SECONDS (default 1.0) the loop stops
+// and the row reports applied-updates/s, aggregate read QPS, and
+// mean/max staleness.  The final table prints the 1 -> 4 reader aggregate
+// read-QPS scaling per dataset (lock-free snapshot reads should not lose
+// throughput as readers are added; gaining requires spare cores).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "dynamic/dynamic_graph.h"
+#include "serve/bitruss_service.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace bitruss;
+using namespace bitruss::bench;
+
+double ServeSeconds() {
+  if (const char* env = std::getenv("BITRUSS_SERVE_SECONDS")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0) return parsed;
+  }
+  return 1.0;
+}
+
+// Cyclic valid stream: `half` random valid ops simulated forward, then the
+// mirror image undoing them in reverse, so state returns to the seed and
+// the stream can be replayed end to end forever.
+std::vector<EdgeUpdate> MakeCyclicStream(const BipartiteGraph& seed,
+                                         int half, std::uint64_t rng_seed) {
+  DynamicBipartiteGraph sim(seed);
+  Rng rng(rng_seed);
+  std::vector<std::pair<VertexId, VertexId>> live;
+  for (EdgeId slot = 0; slot < sim.NumSlots(); ++slot) {
+    if (sim.IsLive(slot)) {
+      live.emplace_back(sim.EdgeUpper(slot),
+                        sim.EdgeLower(slot) - sim.NumUpper());
+    }
+  }
+  std::vector<EdgeUpdate> ops;
+  ops.reserve(2 * half);
+  while (static_cast<int>(ops.size()) < half) {
+    if (!live.empty() && rng.NextBool(0.5)) {
+      const std::size_t pick = rng.Below(live.size());
+      const auto [u, l] = live[pick];
+      sim.DeleteEdge(sim.FindEdge(u, sim.NumUpper() + l));
+      ops.push_back({EdgeUpdate::Kind::kDelete, u, l});
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const auto u = static_cast<VertexId>(rng.Below(sim.NumUpper()));
+      const auto l = static_cast<VertexId>(rng.Below(sim.NumLower()));
+      if (!sim.InsertEdge(u, l).ok()) continue;
+      ops.push_back({EdgeUpdate::Kind::kInsert, u, l});
+      live.emplace_back(u, l);
+    }
+  }
+  for (int i = half - 1; i >= 0; --i) {  // undo in reverse order
+    const EdgeUpdate& op = ops[i];
+    ops.push_back({op.kind == EdgeUpdate::Kind::kInsert
+                       ? EdgeUpdate::Kind::kDelete
+                       : EdgeUpdate::Kind::kInsert,
+                   op.upper_local, op.lower_local});
+  }
+  return ops;
+}
+
+struct RowResult {
+  double applied_per_second = 0;
+  double read_qps = 0;
+  double mean_staleness = 0;
+  std::uint64_t max_staleness = 0;
+  std::uint64_t snapshots = 0;
+};
+
+RowResult RunClosedLoop(const BipartiteGraph& seed,
+                        const std::vector<EdgeUpdate>& ops,
+                        unsigned num_readers, double seconds) {
+  BitrussServiceOptions options;
+  options.queue_capacity = 4096;
+  options.publish_every_updates = 32;
+  options.publish_interval_ms = 5.0;
+  BitrussService service(seed, options);
+
+  std::atomic<bool> stop{false};
+
+  // Ingest thread: drives the cyclic stream as fast as backpressure
+  // allows, and owns the clock that ends the run.
+  std::thread ingest([&] {
+    Timer timer;
+    std::size_t next = 0;
+    while (timer.Seconds() < seconds) {
+      const Status status = service.Submit(ops[next % ops.size()]);
+      if (status.ok()) {
+        ++next;
+      } else {
+        std::this_thread::yield();  // queue full; let the writer catch up
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  // Reader threads over the PR 5 pool: one chunk per reader, the calling
+  // thread serves as reader 0.
+  std::vector<std::uint64_t> reads(num_readers, 0);
+  std::vector<std::uint64_t> staleness_sum(num_readers, 0);
+  std::vector<std::uint64_t> staleness_samples(num_readers, 0);
+  std::vector<std::uint64_t> staleness_max(num_readers, 0);
+  ThreadPool pool(num_readers);
+  pool.ParallelForChunks(
+      0, num_readers, num_readers,
+      [&](std::uint64_t chunk_begin, std::uint64_t, unsigned chunk,
+          unsigned) {
+        (void)chunk_begin;
+        std::uint64_t local_reads = 0;
+        std::uint64_t sink = 0;
+        EdgeId probe = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          const auto snap = service.Snapshot();
+          const std::uint64_t applied = service.AppliedUpdates();
+          const std::uint64_t lag = applied > snap->applied_updates
+                                        ? applied - snap->applied_updates
+                                        : 0;
+          staleness_sum[chunk] += lag;
+          ++staleness_samples[chunk];
+          if (lag > staleness_max[chunk]) staleness_max[chunk] = lag;
+          // Four point reads per snapshot acquisition, plus a periodic
+          // top-k to exercise the scan path.
+          for (int i = 0; i < 4; ++i) {
+            sink += snap->Phi(probe % (snap->num_slots + 1));
+            ++probe;
+            ++local_reads;
+          }
+          if ((local_reads & 1023u) == 0) sink += snap->TopKPhi(8).size();
+        }
+        reads[chunk] = local_reads + (sink & 1);  // keep sink observable
+      });
+
+  ingest.join();
+  const std::uint64_t applied = service.AppliedUpdates();
+  const auto stats = service.Stats();
+  service.Shutdown(/*drain=*/true);
+
+  RowResult row;
+  row.applied_per_second = static_cast<double>(applied) / seconds;
+  std::uint64_t total_reads = 0, total_lag = 0, total_samples = 0;
+  for (unsigned r = 0; r < num_readers; ++r) {
+    total_reads += reads[r];
+    total_lag += staleness_sum[r];
+    total_samples += staleness_samples[r];
+    if (staleness_max[r] > row.max_staleness) {
+      row.max_staleness = staleness_max[r];
+    }
+  }
+  row.read_qps = static_cast<double>(total_reads) / seconds;
+  row.mean_staleness = total_samples == 0
+                           ? 0
+                           : static_cast<double>(total_lag) /
+                                 static_cast<double>(total_samples);
+  row.snapshots = stats.published_snapshots;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Serving closed loop",
+              "1 ingest thread + N snapshot readers over BitrussService");
+
+  const double seconds = ServeSeconds();
+  const int half = static_cast<int>(400 * BenchScale()) + 50;
+
+  TablePrinter table({"Dataset", "|E|", "readers", "applied/s", "read QPS",
+                      "QPS/reader", "mean stale", "max stale", "snapshots"});
+  std::map<std::string, std::map<unsigned, double>> qps_by_readers;
+  for (const char* name : {"Writer", "Github"}) {
+    const BipartiteGraph& g = BenchDataset(name);
+    const std::vector<EdgeUpdate> ops =
+        MakeCyclicStream(g, half, HashString64(name) ^ 0xc105edull);
+    for (const unsigned readers : {1u, 2u, 4u, 8u}) {
+      const RowResult row = RunClosedLoop(g, ops, readers, seconds);
+      qps_by_readers[name][readers] = row.read_qps;
+      table.AddRow({name, FormatCount(g.NumEdges()), FormatCount(readers),
+                    FormatDouble(row.applied_per_second, 0),
+                    FormatDouble(row.read_qps, 0),
+                    FormatDouble(row.read_qps / readers, 0),
+                    FormatDouble(row.mean_staleness, 1),
+                    FormatCount(row.max_staleness),
+                    FormatCount(row.snapshots)});
+    }
+  }
+  table.Print();
+
+  // Aggregate read throughput as readers are added: ~1x on a single core
+  // (snapshot reads are wait-free, so added readers cost nothing), >1x
+  // with spare cores.
+  for (const auto& [name, by_readers] : qps_by_readers) {
+    const double base = by_readers.at(1);
+    std::printf("%s read QPS scaling 1->4 readers: %.2fx\n", name.c_str(),
+                base > 0 ? by_readers.at(4) / base : 0.0);
+  }
+  return 0;
+}

@@ -283,9 +283,25 @@ std::vector<EdgeId> IncrementalBitruss::CompactSlots() {
     }
   }
   phi_ = std::move(compacted);
-  stamp_.assign(graph_.NumSlots(), 0);
-  epoch_ = 0;
+  ResetSlotScratch();
   return mapping;
+}
+
+void IncrementalBitruss::ResetSlotScratch() {
+  // Everything below is keyed by (or holds) slot ids, which a compaction
+  // just renumbered.  Release the old-slot-table sizing rather than keep
+  // capacity pinned to the pre-compaction high-water mark.
+  stamp_.assign(graph_.NumSlots(), 0);
+  stamp_.shrink_to_fit();
+  epoch_ = 0;  // stamps are all 0; the next NewEpoch() opens epoch 1
+  frontier_.clear();
+  frontier_.shrink_to_fit();
+  entry_labels_.clear();
+  entry_labels_.shrink_to_fit();
+  delta_.Clear();
+  delta_.touched.shrink_to_fit();
+  scratch_ = LocalPeelScratch{};
+  last_ = IncrementalUpdateStats{};
 }
 
 }  // namespace bitruss

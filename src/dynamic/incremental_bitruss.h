@@ -97,10 +97,32 @@ class IncrementalBitruss {
   explicit IncrementalBitruss(const BipartiteGraph& seed,
                               IncrementalBitrussOptions options = {});
 
+  /// Copying would silently fork the maintained phi (and duplicate the
+  /// graph plus all repair scratch); pass by reference or move instead.
+  IncrementalBitruss(const IncrementalBitruss&) = delete;
+  IncrementalBitruss& operator=(const IncrementalBitruss&) = delete;
+  IncrementalBitruss(IncrementalBitruss&&) = default;
+  IncrementalBitruss& operator=(IncrementalBitruss&&) = default;
+
   const DynamicBipartiteGraph& Graph() const { return graph_; }
 
-  /// Maintained bitruss number of a live slot (free slots read 0).
-  SupportT Phi(EdgeId slot) const { return phi_[slot]; }
+  /// Maintained bitruss number of a live slot.  Free slots read 0, and so
+  /// does any slot id at or past Graph().NumSlots() — stale ids from
+  /// before a CompactSlots() (exactly what a concurrent reader may hold)
+  /// are answered, not trusted.  Use CheckedPhi() to distinguish the
+  /// cases.
+  SupportT Phi(EdgeId slot) const {
+    return slot < phi_.size() ? phi_[slot] : 0;
+  }
+  /// Phi with an explicit contract: kInvalidArgument for a slot id outside
+  /// [0, Graph().NumSlots()), kNotFound for a free (deleted) slot.
+  StatusOr<SupportT> CheckedPhi(EdgeId slot) const {
+    if (slot >= phi_.size()) {
+      return InvalidArgumentError("slot id out of range");
+    }
+    if (!graph_.IsLive(slot)) return NotFoundError("slot is free");
+    return phi_[slot];
+  }
   /// Maintained phi indexed by slot id, size Graph().NumSlots().
   const std::vector<SupportT>& PhiBySlot() const { return phi_; }
 
@@ -118,6 +140,11 @@ class IncrementalBitruss {
   const IncrementalTotals& Totals() const { return totals_; }
 
  private:
+  /// Resizes/resets every piece of slot-indexed scratch to the current
+  /// slot table in one place — called after CompactSlots() renumbers the
+  /// slots, so no stale-sized buffer (stamps, frontier, peel scratch,
+  /// delta report) survives a compaction.
+  void ResetSlotScratch();
   /// Per-update enumeration budget: cascade_budget capped at half the
   /// current butterfly count (see IncrementalBitrussOptions).
   std::uint64_t EffectiveBudget() const;

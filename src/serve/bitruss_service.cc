@@ -1,0 +1,268 @@
+#include "serve/bitruss_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+namespace bitruss {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+std::vector<std::pair<EdgeId, SupportT>> PhiSnapshot::TopKPhi(
+    std::size_t k) const {
+  std::vector<std::pair<EdgeId, SupportT>> ranked;
+  ranked.reserve(num_edges);
+  for (EdgeId slot = 0; slot < num_slots; ++slot) {
+    if (live[slot]) ranked.emplace_back(slot, phi[slot]);
+  }
+  const auto better = [](const std::pair<EdgeId, SupportT>& a,
+                         const std::pair<EdgeId, SupportT>& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  };
+  if (k < ranked.size()) {
+    std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                      better);
+    ranked.resize(k);
+  } else {
+    std::sort(ranked.begin(), ranked.end(), better);
+  }
+  return ranked;
+}
+
+std::vector<std::pair<SupportT, std::uint64_t>> PhiSnapshot::PhiHistogram()
+    const {
+  std::map<SupportT, std::uint64_t> counts;
+  for (EdgeId slot = 0; slot < num_slots; ++slot) {
+    if (live[slot]) ++counts[phi[slot]];
+  }
+  return std::vector<std::pair<SupportT, std::uint64_t>>(counts.begin(),
+                                                         counts.end());
+}
+
+BitrussService::BitrussService(const BipartiteGraph& seed,
+                               BitrussServiceOptions options)
+    : options_(std::move(options)),
+      inc_(seed, options_.incremental),
+      num_upper_(seed.NumUpper()),
+      num_lower_(seed.NumLower()) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  // Version 1 covers the seed (0 applied updates); readers never observe a
+  // null snapshot.  Publishing before the writer starts needs no atomics
+  // beyond the store itself: thread creation orders everything before it.
+  PublishSnapshot();
+  writer_ = std::thread(&BitrussService::WriterLoop, this);
+}
+
+BitrussService::~BitrussService() { Shutdown(/*drain=*/true); }
+
+Status BitrussService::Submit(const EdgeUpdate& update) {
+  if (update.upper_local >= num_upper_ || update.lower_local >= num_lower_) {
+    return InvalidArgumentError("endpoint out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return UnavailableError("BitrussService is shut down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_overflow_.fetch_add(1, std::memory_order_relaxed);
+      return ResourceExhaustedError("ingest queue full");
+    }
+    queue_.push_back(update);
+    submitted_.fetch_add(1, std::memory_order_release);
+  }
+  queue_cv_.notify_one();
+  return OkStatus();
+}
+
+Status BitrussService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [&] {
+    if (stopping_ && !drain_on_stop_) return true;  // reported below
+    const std::uint64_t applied = applied_.load(std::memory_order_acquire);
+    return queue_.empty() &&
+           applied == submitted_.load(std::memory_order_acquire) &&
+           published_applied_.load(std::memory_order_acquire) == applied;
+  });
+  if (stopping_ && !drain_on_stop_) {
+    return UnavailableError("shut down without draining");
+  }
+  return OkStatus();
+}
+
+void BitrussService::Shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      drain_on_stop_ = drain;
+    }
+  }
+  queue_cv_.notify_all();
+  {
+    // Exactly one caller joins; Shutdown may race with itself and the
+    // destructor.
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    if (writer_.joinable()) writer_.join();
+  }
+  drained_cv_.notify_all();
+}
+
+std::shared_ptr<const PhiSnapshot> BitrussService::Snapshot() const {
+  return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+}
+
+std::uint64_t BitrussService::StalenessUpdates() const {
+  // Loads can interleave with a publication; clamp instead of wrapping.
+  const std::uint64_t applied = applied_.load(std::memory_order_acquire);
+  const std::uint64_t seen = published_applied_.load(std::memory_order_acquire);
+  return applied > seen ? applied - seen : 0;
+}
+
+BitrussServiceStats BitrussService::Stats() const {
+  BitrussServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_acquire);
+  stats.applied = applied_.load(std::memory_order_acquire);
+  stats.apply_failures = apply_failures_.load(std::memory_order_acquire);
+  stats.rejected_overflow = rejected_overflow_.load(std::memory_order_acquire);
+  stats.published_snapshots =
+      published_version_.load(std::memory_order_acquire);
+  stats.compactions = compactions_.load(std::memory_order_acquire);
+  return stats;
+}
+
+void BitrussService::Pause() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+void BitrussService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void BitrussService::ApplyUpdate(const EdgeUpdate& update) {
+  bool ok = false;
+  if (update.kind == EdgeUpdate::Kind::kInsert) {
+    ok = inc_.InsertEdge(update.upper_local, update.lower_local).ok();
+  } else {
+    const EdgeId slot = inc_.Graph().FindEdge(
+        update.upper_local, num_upper_ + update.lower_local);
+    ok = slot != kInvalidEdge && inc_.DeleteEdge(slot).ok();
+  }
+  if (!ok) apply_failures_.fetch_add(1, std::memory_order_relaxed);
+  applied_.fetch_add(1, std::memory_order_release);
+}
+
+void BitrussService::PublishSnapshot() {
+  const DynamicBipartiteGraph& graph = inc_.Graph();
+  auto snapshot = std::make_shared<PhiSnapshot>();
+  const std::uint64_t version =
+      published_version_.load(std::memory_order_relaxed) + 1;
+  const std::uint64_t covers = applied_.load(std::memory_order_relaxed);
+  snapshot->version = version;
+  snapshot->applied_updates = covers;
+  snapshot->num_edges = graph.NumEdges();
+  snapshot->num_slots = graph.NumSlots();
+  snapshot->num_butterflies = graph.NumButterflies();
+  snapshot->phi = inc_.PhiBySlot();
+  snapshot->support.assign(graph.NumSlots(), 0);
+  snapshot->live.assign(graph.NumSlots(), 0);
+  for (EdgeId slot = 0; slot < graph.NumSlots(); ++slot) {
+    if (graph.IsLive(slot)) {
+      snapshot->live[slot] = 1;
+      snapshot->support[slot] = graph.Support(slot);
+    }
+  }
+  std::atomic_store_explicit(
+      &snapshot_,
+      std::shared_ptr<const PhiSnapshot>(std::move(snapshot)),
+      std::memory_order_release);
+  // Ordered after the snapshot store: once these counters say "covered",
+  // Snapshot() already returns the covering version.
+  published_applied_.store(covers, std::memory_order_release);
+  published_version_.store(version, std::memory_order_release);
+  applied_since_publish_ = 0;
+}
+
+void BitrussService::WriterLoop() {
+  const bool timed = options_.publish_interval_ms > 0;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.publish_interval_ms));
+  Clock::time_point last_publish = Clock::now();
+
+  for (;;) {
+    EdgeUpdate update;
+    bool have = false;
+    bool stop = false;
+    bool drain = true;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto ready = [&] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      };
+      if (timed && applied_since_publish_ > 0) {
+        // Unpublished work exists: wake by the publication deadline even
+        // if no new update arrives.
+        queue_cv_.wait_until(lock, last_publish + interval, ready);
+      } else {
+        queue_cv_.wait(lock, ready);
+      }
+      stop = stopping_;
+      drain = drain_on_stop_;
+      if (stop && !drain) {
+        queue_.clear();
+      } else if ((!paused_ || stop) && !queue_.empty()) {
+        update = queue_.front();
+        queue_.pop_front();
+        have = true;
+      }
+    }
+
+    if (have) {
+      ApplyUpdate(update);
+      ++applied_since_publish_;
+      if (options_.compact_every_updates != 0 &&
+          ++applied_since_compact_ >= options_.compact_every_updates) {
+        inc_.CompactSlots();
+        applied_since_compact_ = 0;
+        compactions_.fetch_add(1, std::memory_order_release);
+      }
+    }
+
+    bool queue_empty;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_empty = queue_.empty();
+    }
+    if (applied_since_publish_ > 0) {
+      const bool count_due =
+          options_.publish_every_updates != 0 &&
+          applied_since_publish_ >= options_.publish_every_updates;
+      const bool time_due = timed && Clock::now() >= last_publish + interval;
+      // An idle writer always publishes, so staleness converges to 0 the
+      // moment the ingest queue drains.
+      if (queue_empty || count_due || time_due) {
+        PublishSnapshot();
+        last_publish = Clock::now();
+        drained_cv_.notify_all();
+      }
+    }
+
+    if (stop && queue_empty) {
+      if (applied_since_publish_ > 0) PublishSnapshot();
+      drained_cv_.notify_all();
+      return;
+    }
+  }
+}
+
+}  // namespace bitruss

@@ -1,0 +1,266 @@
+// Concurrent bitruss serving layer: many snapshot readers, one writer.
+//
+// `BitrussService` is the thread-safe facade the ROADMAP's serving
+// north-star asks for.  It decouples mutation from read service the way
+// RECEIPT decouples coarse from fine parallel work: a single writer thread
+// owns the `IncrementalBitruss` state and applies queued edge updates one
+// at a time, periodically freezing the maintained phi into an immutable
+// `PhiSnapshot` that is published through an atomic shared_ptr.  Readers
+// never touch the mutable state — every query (point phi/support, top-k,
+// histogram) runs against the snapshot current at its start:
+//
+//     Submit()  ->  [bounded ingest queue]  ->  writer thread
+//                                                |  applies updates to
+//                                                |  IncrementalBitruss
+//                                                v
+//                              publishes PhiSnapshot (version v)
+//                                                |
+//        Snapshot()/Phi()/TopKPhi()  <--  atomic_load(shared_ptr)
+//
+// Concurrency contract.
+//   * Readers are wait-free with respect to the writer: acquiring the
+//     current snapshot is one atomic shared_ptr load (no service mutex is
+//     taken on the read path), and a held snapshot stays valid and
+//     immutable for as long as the caller keeps the shared_ptr, across any
+//     number of later publications, compactions, or service shutdown.
+//   * Reads are *bounded-stale*, not linearizable: a snapshot lags the
+//     writer by at most the publication cadence (`publish_every_updates`
+//     updates / `publish_interval_ms` ms, and the writer always publishes
+//     when its queue drains, so an idle service converges to staleness 0).
+//   * Backpressure instead of unbounded buffering: `Submit` never blocks;
+//     once `queue_capacity` updates are waiting it returns
+//     kResourceExhausted and the caller retries (or sheds load).
+//   * Shutdown is explicit and drains by default: `Shutdown(true)` stops
+//     intake, applies everything already queued, publishes a final
+//     snapshot covering all of it, and joins the writer.
+//
+// Slot ids are the DynamicBipartiteGraph slot ids and are only meaningful
+// relative to a snapshot: when the writer compacts the slot table
+// (`compact_every_updates`), later snapshots use the new numbering (their
+// `num_slots` shrinks).  Out-of-range reads against any snapshot are
+// answered with 0, never out-of-bounds — see IncrementalBitruss::Phi.
+
+#ifndef BITRUSS_SERVE_BITRUSS_SERVICE_H_
+#define BITRUSS_SERVE_BITRUSS_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dynamic/incremental_bitruss.h"
+#include "graph/bipartite_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace bitruss {
+
+/// One queued mutation.  Both kinds address the edge by its endpoint pair
+/// (side-local ids, like the DynamicBipartiteGraph mutation APIs): slot
+/// ids are writer-internal and a client cannot hold a stable one across
+/// compactions, but the pair always names the same edge.
+struct EdgeUpdate {
+  enum class Kind : std::uint8_t { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  VertexId upper_local = 0;
+  VertexId lower_local = 0;
+};
+
+/// An immutable, versioned freeze of the maintained bitruss state.  All
+/// vectors are indexed by slot id in [0, num_slots); free slots read phi
+/// and support 0 with live == 0.  Query helpers are const and safe to call
+/// from any number of threads concurrently.
+struct PhiSnapshot {
+  /// Publication sequence number, strictly increasing from 1 (the initial
+  /// snapshot of the seed graph).
+  std::uint64_t version = 0;
+  /// Updates the writer had consumed when this snapshot was taken; the
+  /// snapshot is exactly the state after the first `applied_updates`
+  /// submitted updates.  Staleness of a read = writer's current applied
+  /// count minus this.
+  std::uint64_t applied_updates = 0;
+  EdgeId num_edges = 0;
+  EdgeId num_slots = 0;
+  std::uint64_t num_butterflies = 0;
+  std::vector<SupportT> phi;
+  std::vector<SupportT> support;
+  std::vector<std::uint8_t> live;
+
+  /// Bitruss number of a slot; 0 for free slots and any id >= num_slots
+  /// (a stale id from before a compaction reads 0, never out of bounds).
+  SupportT Phi(EdgeId slot) const { return slot < phi.size() ? phi[slot] : 0; }
+  /// Butterfly support of a slot, same bounds contract as Phi.
+  SupportT SupportOf(EdgeId slot) const {
+    return slot < support.size() ? support[slot] : 0;
+  }
+  bool IsLive(EdgeId slot) const {
+    return slot < live.size() && live[slot] != 0;
+  }
+
+  /// The k live edges with the largest phi, sorted by (phi desc, slot
+  /// asc) — deterministic for a given snapshot.  Returns fewer than k
+  /// pairs when fewer live edges exist.
+  std::vector<std::pair<EdgeId, SupportT>> TopKPhi(std::size_t k) const;
+
+  /// (phi value, live-edge count) pairs sorted by phi ascending; counts
+  /// sum to num_edges.
+  std::vector<std::pair<SupportT, std::uint64_t>> PhiHistogram() const;
+};
+
+struct BitrussServiceOptions {
+  /// Bound on updates waiting in the ingest queue; Submit returns
+  /// kResourceExhausted once it is reached (backpressure, never blocking).
+  std::size_t queue_capacity = 4096;
+  /// Publish a fresh snapshot every N consumed updates (0 disables the
+  /// count trigger).  Independent of either knob, the writer publishes
+  /// whenever its queue drains while unpublished updates exist.
+  std::uint64_t publish_every_updates = 64;
+  /// Publish at least every T milliseconds while updates keep arriving
+  /// (0 disables the time trigger).
+  double publish_interval_ms = 10.0;
+  /// Compact the slot table every N consumed updates (0 = never).  Under
+  /// sustained churn the slot table otherwise grows monotonically; see
+  /// DynamicBipartiteGraph::CompactSlots.  Snapshots published after a
+  /// compaction use the new slot numbering.
+  std::uint64_t compact_every_updates = 0;
+  /// Knobs for the owned IncrementalBitruss (cascade budget, fallback
+  /// decompose algorithm).
+  IncrementalBitrussOptions incremental;
+};
+
+/// Monotonic service counters, readable from any thread at any time.
+struct BitrussServiceStats {
+  std::uint64_t submitted = 0;   ///< accepted into the queue
+  std::uint64_t applied = 0;     ///< consumed by the writer (incl. no-ops)
+  std::uint64_t apply_failures = 0;  ///< duplicate inserts, missing deletes
+  std::uint64_t rejected_overflow = 0;  ///< Submit calls bounced by backpressure
+  std::uint64_t published_snapshots = 0;
+  std::uint64_t compactions = 0;
+};
+
+class BitrussService {
+ public:
+  /// Builds the initial phi state from `seed` (one full Decompose) on the
+  /// calling thread, publishes it as snapshot version 1, then starts the
+  /// writer thread.
+  explicit BitrussService(const BipartiteGraph& seed,
+                          BitrussServiceOptions options = {});
+
+  BitrussService(const BitrussService&) = delete;
+  BitrussService& operator=(const BitrussService&) = delete;
+
+  /// Equivalent to Shutdown(/*drain=*/true).
+  ~BitrussService();
+
+  // -- Ingest side (any thread) --------------------------------------------
+
+  /// Enqueues one update without blocking.  kResourceExhausted when the
+  /// queue is full (retry later), kUnavailable after Shutdown,
+  /// kInvalidArgument for out-of-range endpoints (checked here so the
+  /// producer learns immediately, not via a counter).
+  Status Submit(const EdgeUpdate& update);
+  Status SubmitInsert(VertexId upper_local, VertexId lower_local) {
+    return Submit({EdgeUpdate::Kind::kInsert, upper_local, lower_local});
+  }
+  Status SubmitDelete(VertexId upper_local, VertexId lower_local) {
+    return Submit({EdgeUpdate::Kind::kDelete, upper_local, lower_local});
+  }
+
+  /// Blocks until every update submitted before the call has been applied
+  /// AND a snapshot covering all of them is published.  kUnavailable if
+  /// the service was shut down without draining first.
+  Status Drain();
+
+  /// Stops intake (Submit fails with kUnavailable from now on); with
+  /// `drain` applies + publishes everything queued, otherwise discards the
+  /// queue after the in-flight update.  Joins the writer.  Idempotent; the
+  /// first call's drain choice wins.
+  void Shutdown(bool drain = true);
+
+  // -- Read side (any thread, never blocked by the writer) -----------------
+
+  /// The most recently published snapshot (never null).
+  std::shared_ptr<const PhiSnapshot> Snapshot() const;
+
+  /// Point reads off the current snapshot.
+  SupportT Phi(EdgeId slot) const { return Snapshot()->Phi(slot); }
+  SupportT SupportOf(EdgeId slot) const { return Snapshot()->SupportOf(slot); }
+
+  std::uint64_t SubmittedUpdates() const {
+    return submitted_.load(std::memory_order_acquire);
+  }
+  std::uint64_t AppliedUpdates() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+  std::uint64_t PublishedVersion() const {
+    return published_version_.load(std::memory_order_acquire);
+  }
+  /// Applied updates not yet visible to readers (the writer's lead over
+  /// the published snapshot, in updates).
+  std::uint64_t StalenessUpdates() const;
+
+  BitrussServiceStats Stats() const;
+
+  // -- Test hooks ----------------------------------------------------------
+
+  /// Suspends/resumes the writer between updates.  While paused the queue
+  /// fills and Submit exercises real backpressure deterministically; used
+  /// by tests, not part of the serving API proper.
+  void Pause();
+  void Resume();
+
+ private:
+  void WriterLoop();
+  /// Applies one update to the owned IncrementalBitruss (writer thread
+  /// only) and maintains the applied/failure counters.
+  void ApplyUpdate(const EdgeUpdate& update);
+  /// Freezes the current state into a snapshot and publishes it (writer
+  /// thread, or the constructor before the writer starts).
+  void PublishSnapshot();
+
+  BitrussServiceOptions options_;
+  IncrementalBitruss inc_;  // writer thread only (constructor excepted)
+  // Vertex-set bounds are fixed at seeding; cached so Submit can validate
+  // endpoints without touching the writer-owned graph.
+  const VertexId num_upper_;
+  const VertexId num_lower_;
+
+  // Published state.  snapshot_ is accessed exclusively through
+  // std::atomic_load / std::atomic_store (acquire/release): C++17's
+  // spelling of atomic<shared_ptr>.
+  std::shared_ptr<const PhiSnapshot> snapshot_;
+  std::atomic<std::uint64_t> published_version_{0};
+  std::atomic<std::uint64_t> published_applied_{0};
+
+  // Counters (see BitrussServiceStats).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> apply_failures_{0};
+  std::atomic<std::uint64_t> rejected_overflow_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+
+  // Ingest queue + writer control.
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;   // writer waits for work/stop
+  std::condition_variable drained_cv_;  // Drain() waits for quiescence
+  std::deque<EdgeUpdate> queue_;
+  bool stopping_ = false;
+  bool drain_on_stop_ = true;
+  bool paused_ = false;
+
+  // Writer-thread-local publication bookkeeping (no locking needed).
+  std::uint64_t applied_since_publish_ = 0;
+  std::uint64_t applied_since_compact_ = 0;
+
+  std::mutex join_mu_;  // serializes the writer join across Shutdown races
+  std::thread writer_;  // started last, joined by Shutdown
+};
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_SERVE_BITRUSS_SERVICE_H_

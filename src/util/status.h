@@ -22,6 +22,8 @@ enum class StatusCode {
   kNotFound,
   kAlreadyExists,
   kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -36,6 +38,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "ALREADY_EXISTS";
     case StatusCode::kFailedPrecondition:
       return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -77,6 +83,14 @@ inline Status AlreadyExistsError(std::string message) {
 }
 inline Status FailedPreconditionError(std::string message) {
   return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+/// Backpressure: a bounded queue or budget is full; retry later.
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+/// The target is shutting down (or not yet started) and cannot accept work.
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 /// Either a value or a non-ok Status.  Accessing value() without checking

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -54,12 +55,17 @@ void ExpectStateMatchesRecount(const IncrementalBitruss& inc) {
 }
 
 // Mixed stream driver; runs `checkpoint` every `verify_every` applied
-// updates (1 = after every single update).
+// updates (1 = after every single update).  When `compact_every_checkpoints`
+// is non-zero, every Nth checkpoint is followed by a CompactSlots() — the
+// handed-out slot ids are remapped through the returned mapping, exactly
+// as a slot-holding caller must.
 template <typename CheckpointFn>
 void RunCheckedStream(IncrementalBitruss& inc, int updates, int verify_every,
-                      std::uint64_t seed, CheckpointFn&& checkpoint) {
+                      std::uint64_t seed, CheckpointFn&& checkpoint,
+                      int compact_every_checkpoints = 0) {
   Rng rng(seed);
   std::vector<EdgeId> inserted;
+  int checkpoints = 0;
   for (int applied = 0; applied < updates;) {
     if (!inserted.empty() && rng.NextBool(0.5)) {
       const std::size_t pick = rng.Below(inserted.size());
@@ -80,6 +86,16 @@ void RunCheckedStream(IncrementalBitruss& inc, int updates, int verify_every,
     }
     if (applied % verify_every == 0) {
       ASSERT_NO_FATAL_FAILURE(checkpoint(inc));
+      if (compact_every_checkpoints != 0 &&
+          ++checkpoints % compact_every_checkpoints == 0) {
+        const std::vector<EdgeId> mapping = inc.CompactSlots();
+        for (EdgeId& slot : inserted) {
+          ASSERT_LT(slot, mapping.size());
+          ASSERT_NE(mapping[slot], kInvalidEdge);  // it was live
+          slot = mapping[slot];
+        }
+        ASSERT_NO_FATAL_FAILURE(checkpoint(inc));
+      }
     }
   }
 }
@@ -205,7 +221,10 @@ TEST(IncrementalBitruss, CompactSlotsPreservesMaintainedState) {
 
 // The long-stream fuzz sweep: >= 10k mixed updates across three suite
 // datasets, with supports, NumButterflies(), and phi checked against
-// recount oracles at every checkpoint.
+// recount oracles at every checkpoint, and a CompactSlots() interleaved at
+// every second checkpoint so the maintained state is fuzzed across slot
+// renumbering too (stale scratch sized to the old slot table would
+// corrupt the very next repair).
 TEST(IncrementalBitruss, LongStreamFuzzAcrossSuiteDatasets) {
   constexpr int kUpdatesPerDataset = 3500;
   constexpr int kCheckpointEvery = 500;
@@ -213,8 +232,8 @@ TEST(IncrementalBitruss, LongStreamFuzzAcrossSuiteDatasets) {
     SCOPED_TRACE(name);
     IncrementalBitruss inc(MakeDataset(name, 0.02));
     RunCheckedStream(inc, kUpdatesPerDataset, kCheckpointEvery,
-                     HashString64(name) ^ 0xf022ull,
-                     ExpectStateMatchesRecount);
+                     HashString64(name) ^ 0xf022ull, ExpectStateMatchesRecount,
+                     /*compact_every_checkpoints=*/2);
     EXPECT_EQ(inc.Totals().inserts + inc.Totals().deletes,
               static_cast<std::uint64_t>(kUpdatesPerDataset));
   }
@@ -242,6 +261,63 @@ TEST(IncrementalBitruss, DenseBlockFallsBackAndStaysExact) {
     ASSERT_NO_FATAL_FAILURE(ExpectPhiMatchesRecount(inc));
   }
   EXPECT_GT(inc.Totals().fallbacks, 0u);
+}
+
+// The maintainer owns a graph plus large slot-indexed scratch; a silent
+// copy would fork phi state and double memory.  Moves stay allowed.
+static_assert(!std::is_copy_constructible_v<IncrementalBitruss>,
+              "IncrementalBitruss must not be copyable");
+static_assert(!std::is_copy_assignable_v<IncrementalBitruss>,
+              "IncrementalBitruss must not be copy-assignable");
+static_assert(std::is_move_constructible_v<IncrementalBitruss>,
+              "IncrementalBitruss should stay movable");
+static_assert(std::is_move_assignable_v<IncrementalBitruss>,
+              "IncrementalBitruss should stay move-assignable");
+
+// Regression: a concurrent reader (or any slot-holding caller) may present
+// a slot id from before a CompactSlots().  Phi() must answer 0 for any id
+// at or past the current slot table — never index out of range — and
+// CheckedPhi() must report the precise contract violation.
+TEST(IncrementalBitruss, StaleSlotIdsAfterCompactionReadZero) {
+  IncrementalBitruss inc(MakeDataset("Writer", 0.02));
+  RunVerifiedStream(inc, /*updates=*/80, /*verify_every=*/40, 7777);
+  // Free a few slots explicitly so the table is guaranteed sparse.
+  for (EdgeId slot = 0; slot < 3; ++slot) {
+    ASSERT_TRUE(inc.Graph().IsLive(slot));
+    ASSERT_TRUE(inc.DeleteEdge(slot).ok());
+  }
+  const EdgeId slots_before = inc.Graph().NumSlots();
+  ASSERT_GT(slots_before, inc.Graph().NumEdges());  // free slots exist
+
+  const std::vector<EdgeId> mapping = inc.CompactSlots();
+  const EdgeId slots_after = inc.Graph().NumSlots();
+  ASSERT_LT(slots_after, slots_before);
+
+  // Every pre-compaction id in the now-out-of-range band reads 0.
+  for (EdgeId stale = slots_after; stale < slots_before; ++stale) {
+    EXPECT_EQ(inc.Phi(stale), 0u) << "stale slot " << stale;
+    const auto checked = inc.CheckedPhi(stale);
+    ASSERT_FALSE(checked.ok());
+    EXPECT_EQ(checked.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(inc.Phi(kInvalidEdge), 0u);
+  EXPECT_EQ(inc.Phi(slots_before + 12345), 0u);
+
+  // Live slots answer their maintained phi through both accessors.
+  for (EdgeId slot = 0; slot < slots_after; ++slot) {
+    ASSERT_TRUE(inc.Graph().IsLive(slot));
+    const auto checked = inc.CheckedPhi(slot);
+    ASSERT_TRUE(checked.ok());
+    EXPECT_EQ(checked.value(), inc.Phi(slot));
+  }
+
+  // A free (deleted, in-range) slot is kNotFound, not kInvalidArgument.
+  EdgeId victim = 0;
+  ASSERT_TRUE(inc.DeleteEdge(victim).ok());
+  EXPECT_EQ(inc.Phi(victim), 0u);
+  const auto freed = inc.CheckedPhi(victim);
+  ASSERT_FALSE(freed.ok());
+  EXPECT_EQ(freed.status().code(), StatusCode::kNotFound);
 }
 
 TEST(IncrementalBitruss, StatsPlumbing) {

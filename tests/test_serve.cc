@@ -1,0 +1,337 @@
+// Tests for the concurrent bitruss serving layer (serve/bitruss_service.h):
+// snapshot semantics, backpressure, shutdown/drain contracts, compaction
+// under serving, and the writer/reader race-freedom stress test that the
+// TSan CI job runs — 1 writer + 4 readers over a mixed insert/delete
+// stream, with every published snapshot checked bit-identical against a
+// from-scratch Snapshot() + Decompose() oracle at its version.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "butterfly/butterfly_counting.h"
+#include "core/decompose.h"
+#include "dynamic/dynamic_graph.h"
+#include "gen/random_bipartite.h"
+#include "graph/bipartite_graph.h"
+#include "serve/bitruss_service.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace bitruss {
+namespace {
+
+// The service is a thread owner; accidental copies must not compile.
+static_assert(!std::is_copy_constructible_v<BitrussService>,
+              "BitrussService must not be copyable");
+static_assert(!std::is_copy_assignable_v<BitrussService>,
+              "BitrussService must not be copy-assignable");
+
+// Deterministic mixed insert/delete stream, valid under FIFO application:
+// every op is simulated while generating, so a delete always names an edge
+// that is live at its position in the stream.
+std::vector<EdgeUpdate> MakeStream(const BipartiteGraph& seed, int updates,
+                                   std::uint64_t rng_seed) {
+  DynamicBipartiteGraph sim(seed);
+  Rng rng(rng_seed);
+  std::vector<std::pair<VertexId, VertexId>> live;  // side-local pairs
+  for (EdgeId slot = 0; slot < sim.NumSlots(); ++slot) {
+    if (sim.IsLive(slot)) {
+      live.emplace_back(sim.EdgeUpper(slot),
+                        sim.EdgeLower(slot) - sim.NumUpper());
+    }
+  }
+  std::vector<EdgeUpdate> ops;
+  ops.reserve(updates);
+  while (static_cast<int>(ops.size()) < updates) {
+    if (!live.empty() && rng.NextBool(0.5)) {
+      const std::size_t pick = rng.Below(live.size());
+      const auto [u, l] = live[pick];
+      EXPECT_TRUE(sim.DeleteEdge(sim.FindEdge(u, sim.NumUpper() + l)).ok());
+      ops.push_back({EdgeUpdate::Kind::kDelete, u, l});
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const auto u = static_cast<VertexId>(rng.Below(sim.NumUpper()));
+      const auto l = static_cast<VertexId>(rng.Below(sim.NumLower()));
+      if (!sim.InsertEdge(u, l).ok()) continue;  // already present; reroll
+      ops.push_back({EdgeUpdate::Kind::kInsert, u, l});
+      live.emplace_back(u, l);
+    }
+  }
+  return ops;
+}
+
+// From-scratch oracle at a snapshot's version: replay the first
+// `applied_updates` ops of the stream (the writer applies FIFO) with the
+// same compaction cadence, then compare the snapshot's entire state
+// against an independent Snapshot() + Decompose() of the replayed graph.
+void ExpectSnapshotMatchesOracle(const PhiSnapshot& snap,
+                                 const BipartiteGraph& seed,
+                                 const std::vector<EdgeUpdate>& ops,
+                                 std::uint64_t compact_every) {
+  ASSERT_LE(snap.applied_updates, ops.size());
+  DynamicBipartiteGraph replay(seed);
+  std::uint64_t since_compact = 0;
+  for (std::uint64_t i = 0; i < snap.applied_updates; ++i) {
+    const EdgeUpdate& op = ops[i];
+    if (op.kind == EdgeUpdate::Kind::kInsert) {
+      ASSERT_TRUE(replay.InsertEdge(op.upper_local, op.lower_local).ok());
+    } else {
+      const EdgeId slot = replay.FindEdge(
+          op.upper_local, replay.NumUpper() + op.lower_local);
+      ASSERT_NE(slot, kInvalidEdge);
+      ASSERT_TRUE(replay.DeleteEdge(slot).ok());
+    }
+    if (compact_every != 0 && ++since_compact >= compact_every) {
+      replay.CompactSlots();
+      since_compact = 0;
+    }
+  }
+  ASSERT_EQ(snap.num_slots, replay.NumSlots());
+  ASSERT_EQ(snap.num_edges, replay.NumEdges());
+  ASSERT_EQ(snap.num_butterflies, replay.NumButterflies());
+
+  const GraphSnapshot compacted = replay.Snapshot();
+  const BitrussResult oracle = Decompose(compacted.graph);
+  std::vector<SupportT> phi_by_slot(replay.NumSlots(), 0);
+  std::vector<SupportT> support_by_slot(replay.NumSlots(), 0);
+  for (EdgeId e = 0; e < compacted.graph.NumEdges(); ++e) {
+    phi_by_slot[compacted.slot_of_edge[e]] = oracle.phi[e];
+    support_by_slot[compacted.slot_of_edge[e]] = compacted.supports[e];
+  }
+  for (EdgeId slot = 0; slot < replay.NumSlots(); ++slot) {
+    ASSERT_EQ(snap.IsLive(slot), replay.IsLive(slot)) << "slot " << slot;
+    ASSERT_EQ(snap.Phi(slot), phi_by_slot[slot]) << "slot " << slot;
+    ASSERT_EQ(snap.SupportOf(slot), support_by_slot[slot]) << "slot " << slot;
+  }
+}
+
+TEST(BitrussService, InitialSnapshotMatchesSeedDecompose) {
+  const BipartiteGraph seed = GenerateUniformBipartite(20, 15, 110, 3);
+  BitrussService service(seed);
+  const auto snap = service.Snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, 1u);
+  EXPECT_EQ(snap->applied_updates, 0u);
+  EXPECT_EQ(snap->num_edges, seed.NumEdges());
+  EXPECT_EQ(snap->num_butterflies, CountTotalButterflies(seed));
+  // Seed slots keep the CSR edge ids.
+  const BitrussResult expected = Decompose(seed);
+  const std::vector<SupportT> supports = CountEdgeSupports(seed);
+  for (EdgeId e = 0; e < seed.NumEdges(); ++e) {
+    EXPECT_EQ(snap->Phi(e), expected.phi[e]) << "edge " << e;
+    EXPECT_EQ(snap->SupportOf(e), supports[e]) << "edge " << e;
+    EXPECT_TRUE(snap->IsLive(e));
+  }
+  EXPECT_EQ(service.StalenessUpdates(), 0u);
+}
+
+TEST(BitrussService, SnapshotQueriesAreConsistentWithArrays) {
+  // Complete K(2,3): every edge sits in 2 butterflies and phi is uniform.
+  const BipartiteGraph seed(
+      2, 3, {{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}});
+  BitrussService service(seed);
+  const auto snap = service.Snapshot();
+
+  const auto top = snap->TopKPhi(4);
+  ASSERT_EQ(top.size(), 4u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    // (phi desc, slot asc) order.
+    EXPECT_TRUE(top[i - 1].second > top[i].second ||
+                (top[i - 1].second == top[i].second &&
+                 top[i - 1].first < top[i].first));
+  }
+  const auto all = snap->TopKPhi(100);
+  EXPECT_EQ(all.size(), seed.NumEdges());
+
+  std::map<SupportT, std::uint64_t> expected;
+  for (EdgeId slot = 0; slot < snap->num_slots; ++slot) {
+    if (snap->IsLive(slot)) ++expected[snap->Phi(slot)];
+  }
+  const auto histogram = snap->PhiHistogram();
+  ASSERT_EQ(histogram.size(), expected.size());
+  std::uint64_t total = 0;
+  for (const auto& [phi, count] : histogram) {
+    EXPECT_EQ(count, expected[phi]) << "phi " << phi;
+    total += count;
+  }
+  EXPECT_EQ(total, snap->num_edges);
+
+  // Out-of-range ids answer 0/false, never fault.
+  EXPECT_EQ(snap->Phi(1u << 30), 0u);
+  EXPECT_EQ(snap->SupportOf(1u << 30), 0u);
+  EXPECT_FALSE(snap->IsLive(1u << 30));
+}
+
+TEST(BitrussService, BackpressureWhenQueueFills) {
+  const BipartiteGraph seed(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  BitrussServiceOptions options;
+  options.queue_capacity = 4;
+  BitrussService service(seed, options);
+
+  // Park the writer so the queue fills deterministically.
+  service.Pause();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(0, 1).ok()) << i;
+  }
+  const Status overflow = service.SubmitInsert(0, 1);
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.Stats().rejected_overflow, 1u);
+
+  // Endpoint validation happens at Submit, not at apply.
+  EXPECT_EQ(service.SubmitInsert(99, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.SubmitDelete(0, 99).code(), StatusCode::kInvalidArgument);
+
+  service.Resume();
+  ASSERT_TRUE(service.Drain().ok());
+  EXPECT_EQ(service.AppliedUpdates(), 4u);
+  // First insert closed the K(2,2); the other three were duplicates.
+  EXPECT_EQ(service.Stats().apply_failures, 3u);
+  EXPECT_EQ(service.Phi(3), 1u);  // the inserted edge took slot 3
+  EXPECT_EQ(service.StalenessUpdates(), 0u);
+  EXPECT_EQ(service.Snapshot()->applied_updates, 4u);
+}
+
+TEST(BitrussService, ShutdownDrainsThenRefusesWork) {
+  const BipartiteGraph seed(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  BitrussService service(seed);
+  ASSERT_TRUE(service.SubmitInsert(0, 1).ok());
+  service.Shutdown(/*drain=*/true);
+
+  EXPECT_EQ(service.AppliedUpdates(), 1u);
+  const auto snap = service.Snapshot();
+  EXPECT_EQ(snap->applied_updates, 1u);
+  EXPECT_EQ(snap->num_edges, 4u);
+  for (EdgeId e = 0; e < 4; ++e) EXPECT_EQ(snap->Phi(e), 1u);
+
+  EXPECT_EQ(service.SubmitInsert(0, 1).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(service.Drain().ok());  // already quiescent
+  service.Shutdown(true);             // idempotent
+}
+
+TEST(BitrussService, ShutdownWithoutDrainDiscardsQueue) {
+  const BipartiteGraph seed(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  BitrussService service(seed);
+  service.Pause();
+  ASSERT_TRUE(service.SubmitInsert(0, 1).ok());
+  service.Shutdown(/*drain=*/false);
+  EXPECT_EQ(service.AppliedUpdates(), 0u);
+  EXPECT_EQ(service.Snapshot()->applied_updates, 0u);
+  EXPECT_EQ(service.Drain().code(), StatusCode::kUnavailable);
+}
+
+TEST(BitrussService, ServesExactlyAcrossCompactions) {
+  const BipartiteGraph seed = GenerateUniformBipartite(25, 20, 160, 7);
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, 60, 0x5e1f);
+  BitrussServiceOptions options;
+  options.queue_capacity = ops.size();
+  options.compact_every_updates = 5;
+  BitrussService service(seed, options);
+  for (const EdgeUpdate& op : ops) ASSERT_TRUE(service.Submit(op).ok());
+  ASSERT_TRUE(service.Drain().ok());
+
+  EXPECT_EQ(service.Stats().compactions, ops.size() / 5);
+  const auto snap = service.Snapshot();
+  EXPECT_EQ(snap->applied_updates, ops.size());
+  ASSERT_NO_FATAL_FAILURE(
+      ExpectSnapshotMatchesOracle(*snap, seed, ops, /*compact_every=*/5));
+  // A stale pre-compaction slot id reads 0 through every accessor.
+  EXPECT_EQ(service.Phi(1u << 20), 0u);
+  EXPECT_EQ(service.SupportOf(1u << 20), 0u);
+}
+
+// The race-freedom satellite: one writer, four hammering readers, every
+// observed snapshot verified against the from-scratch oracle at its
+// version.  Run under TSan in CI (serve label).
+TEST(BitrussServiceStress, EverySnapshotMatchesOracleAtItsVersion) {
+  const BipartiteGraph seed = GenerateUniformBipartite(30, 25, 200, 13);
+  constexpr int kUpdates = 260;
+  constexpr std::uint64_t kCompactEvery = 97;
+  constexpr int kReaders = 4;
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, kUpdates, 0xfeed);
+
+  BitrussServiceOptions options;
+  options.queue_capacity = 64;  // smaller than the stream: exercises
+                                // backpressure under concurrency too
+  options.publish_every_updates = 1;  // maximal snapshot coverage
+  options.publish_interval_ms = 0;
+  options.compact_every_updates = kCompactEvery;
+  BitrussService service(seed, options);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::map<std::uint64_t, std::shared_ptr<const PhiSnapshot>>>
+      seen(kReaders);
+  std::vector<std::uint64_t> read_sink(kReaders, 0);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t sink = 0;
+      std::uint64_t probe = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snap = service.Snapshot();
+        seen[r].emplace(snap->version, snap);
+        // Hammer every read path, including intentionally stale /
+        // out-of-range slot ids, while the writer mutates and compacts.
+        const EdgeId slot = static_cast<EdgeId>(probe++ % (snap->num_slots + 3));
+        sink += service.Phi(slot) + snap->SupportOf(slot) + snap->IsLive(slot);
+        sink += service.StalenessUpdates();
+        if (probe % 64 == 0) {
+          sink += snap->TopKPhi(5).size() + snap->PhiHistogram().size();
+        }
+      }
+      read_sink[r] = sink;
+    });
+  }
+
+  for (const EdgeUpdate& op : ops) {
+    Status status = service.Submit(op);
+    while (status.code() == StatusCode::kResourceExhausted) {
+      std::this_thread::yield();
+      status = service.Submit(op);
+    }
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+  ASSERT_TRUE(service.Drain().ok());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  service.Shutdown(/*drain=*/true);
+
+  const auto final_snap = service.Snapshot();
+  EXPECT_EQ(final_snap->applied_updates, ops.size());
+  EXPECT_EQ(service.Stats().apply_failures, 0u);  // the stream is valid
+  EXPECT_EQ(service.AppliedUpdates(), ops.size());
+
+  // Every snapshot any reader ever observed — plus the final one — must be
+  // bit-identical to the recount oracle at its version.
+  std::map<std::uint64_t, std::shared_ptr<const PhiSnapshot>> unique;
+  for (const auto& per_reader : seen) {
+    unique.insert(per_reader.begin(), per_reader.end());
+  }
+  unique.emplace(final_snap->version, final_snap);
+  EXPECT_GE(unique.size(), 2u);  // readers saw real intermediate state
+  std::uint64_t last_applied = 0;
+  std::uint64_t last_version = 0;
+  for (const auto& [version, snap] : unique) {
+    SCOPED_TRACE("snapshot version " + std::to_string(version));
+    EXPECT_EQ(snap->version, version);
+    // Versions and covered-update counts advance together.
+    EXPECT_GT(version, last_version);
+    EXPECT_GE(snap->applied_updates, last_applied);
+    last_version = version;
+    last_applied = snap->applied_updates;
+    ASSERT_NO_FATAL_FAILURE(
+        ExpectSnapshotMatchesOracle(*snap, seed, ops, kCompactEvery));
+  }
+}
+
+}  // namespace
+}  // namespace bitruss

@@ -33,6 +33,21 @@ TEST(Status, ErrorHelpersCarryCodeAndMessage) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(Status, ServingLayerCodes) {
+  // Backpressure (queue full, retry later) vs shutdown (stop submitting)
+  // are distinct outcomes a producer must branch on.
+  const Status full = ResourceExhaustedError("ingest queue full");
+  EXPECT_FALSE(full.ok());
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(full.ToString(), "RESOURCE_EXHAUSTED: ingest queue full");
+
+  const Status down = UnavailableError("shutting down");
+  EXPECT_FALSE(down.ok());
+  EXPECT_EQ(down.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(down.ToString(), "UNAVAILABLE: shutting down");
+  EXPECT_NE(full, down);
+}
+
 TEST(StatusOr, HoldsValue) {
   StatusOr<int> result(42);
   ASSERT_TRUE(result.ok());
