@@ -9,6 +9,11 @@
 //   BITRUSS_BENCH_TIMEOUT  per-run deadline in seconds (default 30; the
 //                          scaled-down analogue of the paper's 30-hour cap;
 //                          timed-out entries print INF, as in Figure 9)
+//
+// Machine-readable output: a bench main that calls ParseBenchArgs(argc,
+// argv) accepts `--json=<path>`; WriteBenchJsonIfRequested() then writes
+// every table the run printed plus the process MetricsRegistry snapshot as
+// one JSON document (CI parses this instead of scraping stdout).
 
 #ifndef BITRUSS_BENCH_BENCH_COMMON_H_
 #define BITRUSS_BENCH_BENCH_COMMON_H_
@@ -19,6 +24,7 @@
 #include "core/bitruss_result.h"
 #include "core/decompose.h"
 #include "graph/bipartite_graph.h"
+#include "obs/trace.h"
 
 namespace bitruss::bench {
 
@@ -38,7 +44,8 @@ struct RunOutcome {
   bool timed_out = false;
 };
 RunOutcome TimedRun(const BipartiteGraph& g, Algorithm algorithm,
-                    double tau = 0.02, bool track_per_edge = false);
+                    double tau = 0.02, bool track_per_edge = false,
+                    obs::TraceRecorder* trace = nullptr);
 
 /// "12.345" or "INF" (Figure 9's convention for >deadline runs).
 std::string FormatSeconds(const RunOutcome& outcome);
@@ -47,13 +54,29 @@ std::string FormatSeconds(const RunOutcome& outcome);
 class TablePrinter {
  public:
   explicit TablePrinter(std::vector<std::string> header);
+  TablePrinter(std::string title, std::vector<std::string> header);
   void AddRow(std::vector<std::string> row);
-  /// Flushes the table to stdout with aligned columns.
+  /// Flushes the table to stdout with aligned columns; when `--json` was
+  /// requested the table is also captured for WriteBenchJsonIfRequested().
   void Print() const;
 
  private:
+  std::string title_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Scans argv for bench flags (currently `--json=<path>`).  Unknown
+/// arguments are ignored so dataset positional args stay available.
+void ParseBenchArgs(int argc, char** argv);
+
+/// True when ParseBenchArgs saw `--json=<path>`.
+bool BenchJsonRequested();
+
+/// Writes `{"bench", "scale", "tables": [...], "metrics": {...}}` to the
+/// `--json` path (tables captured from every TablePrinter::Print since
+/// startup, metrics from obs::MetricsRegistry::Default).  No-op without
+/// the flag; prints the destination path on success.
+void WriteBenchJsonIfRequested();
 
 /// Shorthand number formatting.
 std::string FormatCount(std::uint64_t value);

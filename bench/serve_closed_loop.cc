@@ -26,6 +26,7 @@
 
 #include "bench_common.h"
 #include "dynamic/dynamic_graph.h"
+#include "obs/metrics.h"
 #include "serve/bitruss_service.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -184,14 +185,16 @@ RowResult RunClosedLoop(const BipartiteGraph& seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
   PrintBanner("Serving closed loop",
               "1 ingest thread + N snapshot readers over BitrussService");
 
   const double seconds = ServeSeconds();
   const int half = static_cast<int>(400 * BenchScale()) + 50;
 
-  TablePrinter table({"Dataset", "|E|", "readers", "applied/s", "read QPS",
+  TablePrinter table("closed_loop",
+                     {"Dataset", "|E|", "readers", "applied/s", "read QPS",
                       "QPS/reader", "mean stale", "max stale", "snapshots"});
   std::map<std::string, std::map<unsigned, double>> qps_by_readers;
   for (const char* name : {"Writer", "Github"}) {
@@ -220,5 +223,12 @@ int main() {
     std::printf("%s read QPS scaling 1->4 readers: %.2fx\n", name.c_str(),
                 base > 0 ? by_readers.at(4) / base : 0.0);
   }
+
+  // Process-wide telemetry from the whole run (every service instance
+  // reported into the default registry).
+  std::printf("\n-- metrics snapshot --\n%s",
+              obs::ExportPrometheus(obs::MetricsRegistry::Default().Snapshot())
+                  .c_str());
+  WriteBenchJsonIfRequested();
   return 0;
 }

@@ -3,12 +3,33 @@
 #include <atomic>
 
 #include "butterfly/wedge_enumeration.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
 
 namespace bitruss {
 
 namespace {
 
 constexpr auto kNoopAnchorDone = [](const std::vector<VertexId>&) {};
+
+// Support-count telemetry.  Each full CountEdgeSupports pass is one run;
+// the delegating overloads don't double-count (only compute sites report).
+struct CountingMetrics {
+  obs::Counter* runs;
+  obs::Histogram* seconds;
+
+  static const CountingMetrics& Get() {
+    static const CountingMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Default();
+      return CountingMetrics{
+          registry.GetCounter("bitruss_butterfly_count_runs_total"),
+          registry.GetHistogram("bitruss_butterfly_count_seconds",
+                                obs::ExponentialBuckets(0.001, 2.0, 14)),
+      };
+    }();
+    return metrics;
+  }
+};
 
 // Anchors processed per deadline poll inside a chunk: the poll sits between
 // sub-slices of the bloom enumeration, so expiry is detected within a
@@ -24,6 +45,8 @@ constexpr unsigned kChunksPerThread = 8;
 
 std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
                                         const PriorityAdjacency& adj) {
+  const CountingMetrics& metrics = CountingMetrics::Get();
+  Timer timer;
   std::vector<SupportT> sup(g.NumEdges(), 0);
   internal::ForEachBloom<true>(
       adj, [](VertexId, SupportT) {},
@@ -32,6 +55,8 @@ std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
         sup[far_edge] += c - 1;
       },
       kNoopAnchorDone);
+  metrics.runs->Inc();
+  metrics.seconds->Observe(timer.Seconds());
   return sup;
 }
 
@@ -49,6 +74,8 @@ std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
   if (expired != nullptr) *expired = false;
   const EdgeId m = g.NumEdges();
   const VertexId n = adj.NumVertices();
+  const CountingMetrics& metrics = CountingMetrics::Get();
+  Timer timer;
   if (pool == nullptr || pool->NumThreads() <= 1) {
     if (!deadline.IsFinite()) return CountEdgeSupports(g, adj);
     // Sequential but deadline-aware: same enumeration, polled per sub-slice.
@@ -70,6 +97,8 @@ std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
           },
           kNoopAnchorDone);
     }
+    metrics.runs->Inc();
+    metrics.seconds->Observe(timer.Seconds());
     return sup;
   }
 
@@ -126,6 +155,8 @@ std::vector<SupportT> CountEdgeSupports(const BipartiteGraph& g,
       }
     }
   });
+  metrics.runs->Inc();
+  metrics.seconds->Observe(timer.Seconds());
   return sup;
 }
 

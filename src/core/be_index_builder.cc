@@ -4,8 +4,43 @@
 #include <stdexcept>
 
 #include "butterfly/wedge_enumeration.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
 
 namespace bitruss {
+
+namespace {
+
+// Build telemetry, reported once per public Build/BuildCompressed call.
+// The bytes gauge tracks the most recent build's footprint (a level, not a
+// sum): compressed PC rounds overwrite it as the candidate shrinks.
+struct IndexBuildMetrics {
+  obs::Counter* builds;
+  obs::Histogram* seconds;
+  obs::Gauge* last_bytes;
+
+  static const IndexBuildMetrics& Get() {
+    static const IndexBuildMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Default();
+      return IndexBuildMetrics{
+          registry.GetCounter("bitruss_beindex_builds_total"),
+          registry.GetHistogram("bitruss_beindex_build_seconds",
+                                obs::ExponentialBuckets(0.001, 2.0, 14)),
+          registry.GetGauge("bitruss_beindex_last_build_bytes"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+void RecordBuild(const BEIndex& index, double seconds) {
+  const IndexBuildMetrics& metrics = IndexBuildMetrics::Get();
+  metrics.builds->Inc();
+  metrics.seconds->Observe(seconds);
+  metrics.last_bytes->Set(static_cast<std::int64_t>(index.MemoryBytes()));
+}
+
+}  // namespace
 
 void BEIndex::KillWedge(WedgeId w) {
   const BloomId b = wedge_bloom[w];
@@ -296,22 +331,32 @@ BEIndex BuildImpl(EdgeId num_edges, const AdjT& a,
 
 BEIndex BEIndexBuilder::Build(const BipartiteGraph& g,
                               const PriorityAdjacency& adj, ThreadPool* pool) {
-  return BuildImpl(g.NumEdges(), adj, {}, pool);
+  Timer timer;
+  BEIndex index = BuildImpl(g.NumEdges(), adj, {}, pool);
+  RecordBuild(index, timer.Seconds());
+  return index;
 }
 
 BEIndex BEIndexBuilder::BuildCompressed(
     const BipartiteGraph& g, const PriorityAdjacency& adj,
     const std::vector<std::uint8_t>& assigned, ThreadPool* pool) {
-  return BuildImpl(g.NumEdges(), adj, assigned, pool);
+  Timer timer;
+  BEIndex index = BuildImpl(g.NumEdges(), adj, assigned, pool);
+  RecordBuild(index, timer.Seconds());
+  return index;
 }
 
 BEIndex BEIndexBuilder::BuildCompressed(
     const BipartiteGraph& g, const PriorityAdjacency& adj,
     const std::vector<std::uint8_t>& assigned,
     const std::vector<std::uint8_t>& included, ThreadPool* pool) {
-  if (included.empty()) return BuildImpl(g.NumEdges(), adj, assigned, pool);
-  const FilteredAdj filtered(adj, included);
-  return BuildImpl(g.NumEdges(), filtered, assigned, pool);
+  Timer timer;
+  BEIndex index = included.empty()
+                      ? BuildImpl(g.NumEdges(), adj, assigned, pool)
+                      : BuildImpl(g.NumEdges(), FilteredAdj(adj, included),
+                                  assigned, pool);
+  RecordBuild(index, timer.Seconds());
+  return index;
 }
 
 }  // namespace bitruss

@@ -8,12 +8,37 @@
 #include "butterfly/butterfly_counting.h"
 #include "core/be_index_builder.h"
 #include "core/peeling_state.h"
+#include "obs/metrics.h"
 
 namespace bitruss {
 
 namespace {
 
 constexpr std::uint32_t kDeadlinePollInterval = 256;
+
+// Registry handles are fetched once per process; the decompose phases then
+// pay one atomic op per report.  Seconds buckets span 1ms..~8s.
+struct DecomposeMetrics {
+  obs::Counter* runs;
+  obs::Histogram* counting_seconds;
+  obs::Histogram* peeling_seconds;
+  obs::Counter* pc_rounds;
+
+  static const DecomposeMetrics& Get() {
+    static const DecomposeMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Default();
+      const std::vector<double> seconds =
+          obs::ExponentialBuckets(0.001, 2.0, 14);
+      return DecomposeMetrics{
+          registry.GetCounter("bitruss_core_decompose_runs_total"),
+          registry.GetHistogram("bitruss_core_counting_seconds", seconds),
+          registry.GetHistogram("bitruss_core_peeling_seconds", seconds),
+          registry.GetCounter("bitruss_core_pc_rounds_total"),
+      };
+    }();
+    return metrics;
+  }
+};
 
 // BiT-BS peeling: on every removal, re-enumerate the butterflies of the
 // removed edge on the current (shrinking) graph and decrement the other
@@ -98,7 +123,10 @@ void RunIndexed(const BipartiteGraph& g, const PriorityAdjacency& adj,
                 const DecomposeOptions& options, ThreadPool* pool,
                 BitrussResult* result) {
   Timer timer;
+  obs::ObsSpan build_span(options.trace, "decompose/index_build");
   BEIndex index = BEIndexBuilder::Build(g, adj, pool);
+  build_span.Note("index_bytes", static_cast<double>(index.MemoryBytes()));
+  build_span.End();
   result->counters.peak_index_bytes = index.MemoryBytes();
   result->counters.counting_seconds += timer.Seconds();
 
@@ -109,9 +137,11 @@ void RunIndexed(const BipartiteGraph& g, const PriorityAdjacency& adj,
   Peeler peeler(std::move(index), std::move(sup), std::move(peel_options),
                 &counters);
   timer.Reset();
+  obs::ObsSpan peel_span(options.trace, "decompose/peel");
   const bool completed =
       peeler.Run(mode, options.deadline,
                  [&](EdgeId e, SupportT level) { result->phi[e] = level; });
+  peel_span.End();
   result->counters.peeling_seconds = timer.Seconds();
   result->timed_out = !completed;
   result->counters.support_updates = counters.support_updates;
@@ -165,6 +195,9 @@ void RunPC(const BipartiteGraph& g, const PriorityAdjacency& adj,
       result->timed_out = true;
       break;
     }
+    DecomposeMetrics::Get().pc_rounds->Inc();
+    obs::ObsSpan round_span(options.trace, "pc/round");
+    round_span.Note("theta", static_cast<double>(theta));
 
     // Candidate = theta-bitruss: seed with assigned edges (phi >= theta by
     // construction) plus unassigned edges whose phi bound allows theta,
@@ -207,6 +240,7 @@ void RunPC(const BipartiteGraph& g, const PriorityAdjacency& adj,
     if (candidate_unassigned == 0) {
       // No edge has phi at or above this theta; move down the ladder.
       result->pc_trace.push_back({theta, 0, 0, 0});
+      round_span.Note("candidate_edges", 0);
       continue;
     }
 
@@ -241,6 +275,10 @@ void RunPC(const BipartiteGraph& g, const PriorityAdjacency& adj,
     result->counters.per_edge_updates = std::move(counters.per_edge_updates);
     result->pc_trace.push_back(
         {theta, candidate_unassigned, assigned_now, index_bytes});
+    round_span.Note("candidate_edges",
+                    static_cast<double>(candidate_unassigned));
+    round_span.Note("assigned", static_cast<double>(assigned_now));
+    round_span.Note("index_bytes", static_cast<double>(index_bytes));
     if (!completed) {
       result->timed_out = true;
       break;
@@ -266,7 +304,11 @@ BitrussResult Decompose(const BipartiteGraph& g,
   if (num_threads > 1) owned_pool.emplace(num_threads);
   ThreadPool* pool = owned_pool ? &*owned_pool : nullptr;
 
+  const DecomposeMetrics& metrics = DecomposeMetrics::Get();
+  metrics.runs->Inc();
+
   Timer timer;
+  obs::ObsSpan count_span(options.trace, "decompose/count");
   const VertexPriority priority =
       VertexPriority::Compute(g, options.priority_rule);
   const PriorityAdjacency adj(g, priority);
@@ -275,6 +317,9 @@ BitrussResult Decompose(const BipartiteGraph& g,
   std::uint64_t support_sum = 0;
   for (const SupportT s : sup) support_sum += s;
   result.total_butterflies = support_sum / 4;  // every butterfly has 4 edges
+  count_span.Note("butterflies",
+                  static_cast<double>(result.total_butterflies));
+  count_span.End();
   result.counters.counting_seconds = timer.Seconds();
 
   switch (options.algorithm) {
@@ -300,6 +345,8 @@ BitrussResult Decompose(const BipartiteGraph& g,
       RunPC(g, adj, sup, options, pool, &result);
       break;
   }
+  metrics.counting_seconds->Observe(result.counters.counting_seconds);
+  metrics.peeling_seconds->Observe(result.counters.peeling_seconds);
   return result;
 }
 

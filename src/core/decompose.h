@@ -23,6 +23,7 @@
 #include "core/bitruss_result.h"
 #include "graph/bipartite_graph.h"
 #include "graph/vertex_priority.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -51,6 +52,10 @@ struct DecomposeOptions {
   /// core/parallel_peel.h for the parallel peeler).  Results are
   /// bit-identical at every thread count.
   ParallelOptions parallel;
+  /// Optional phase tracing: counting / index build / peel (and, for kPC,
+  /// one span per theta round) are recorded as spans.  Null disables
+  /// tracing at zero cost.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 BitrussResult Decompose(const BipartiteGraph& g,

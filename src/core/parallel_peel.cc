@@ -6,10 +6,33 @@
 
 #include "butterfly/butterfly_counting.h"
 #include "graph/vertex_priority.h"
+#include "obs/metrics.h"
 
 namespace bitruss {
 
 namespace {
+
+// Round/frontier telemetry for the parallel peeler.  Rounds and merged
+// deltas accumulate locally and flush once per run; the frontier histogram
+// pays one Observe per round (rounds are few compared to edges).
+struct ParallelPeelMetrics {
+  obs::Counter* rounds;
+  obs::Counter* deltas_merged;
+  obs::Histogram* frontier_edges;
+
+  static const ParallelPeelMetrics& Get() {
+    static const ParallelPeelMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Default();
+      return ParallelPeelMetrics{
+          registry.GetCounter("bitruss_core_parallel_peel_rounds_total"),
+          registry.GetCounter("bitruss_core_peel_deltas_merged_total"),
+          registry.GetHistogram("bitruss_core_peel_frontier_edges",
+                                obs::ExponentialBuckets(1.0, 4.0, 12)),
+      };
+    }();
+    return metrics;
+  }
+};
 
 // Frontier edges processed per deadline poll inside an enumeration chunk.
 constexpr std::uint64_t kEdgesPerPoll = 64;
@@ -55,6 +78,7 @@ BitrussResult DecomposeParallelPeel(const BipartiteGraph& g,
   // Phase 1: parallel exact support counting (bit-identical to the
   // sequential BFC-VP count; anchor chunks poll the deadline).
   Timer timer;
+  obs::ObsSpan count_span(options.trace, "parallel_peel/count");
   std::vector<SupportT> sup;
   {
     const VertexPriority priority = VertexPriority::Compute(g);
@@ -70,6 +94,8 @@ BitrussResult DecomposeParallelPeel(const BipartiteGraph& g,
   for (const SupportT s : sup) support_sum += s;
   result.total_butterflies = support_sum / 4;  // every butterfly has 4 edges
   result.original_support = sup;
+  count_span.Note("butterflies", static_cast<double>(result.total_butterflies));
+  count_span.End();
   result.counters.counting_seconds = timer.Seconds();
   timer.Reset();
 
@@ -136,6 +162,11 @@ BitrussResult DecomposeParallelPeel(const BipartiteGraph& g,
     }
   };
 
+  const ParallelPeelMetrics& metrics = ParallelPeelMetrics::Get();
+  obs::ObsSpan peel_span(options.trace, "parallel_peel/peel");
+  std::uint64_t rounds = 0;
+  std::uint64_t deltas_merged = 0;
+
   SupportT level = 0;
   std::uint64_t cursor = 0;  // lowest possibly non-empty bucket
   EdgeId remaining = m;
@@ -163,6 +194,8 @@ BitrussResult DecomposeParallelPeel(const BipartiteGraph& g,
     }
     cursor = static_cast<std::uint64_t>(level) + 1;
     if (frontier.empty()) continue;
+    ++rounds;
+    metrics.frontier_edges->Observe(static_cast<double>(frontier.size()));
 
     // A frontier edge's support can only keep falling, so the sequential
     // peeler would pop every one of them before the level rises: phi is
@@ -182,6 +215,7 @@ BitrussResult DecomposeParallelPeel(const BipartiteGraph& g,
     // Deterministic merge, sequential over threads: sup(f) ends at its
     // start value minus the total delta, whatever the chunk schedule was.
     for (PeelScratch& s : scratch) {
+      deltas_merged += s.touched.size();
       for (const EdgeId f : s.touched) {
         const SupportT d = s.delta[f];
         s.delta[f] = 0;
@@ -203,6 +237,10 @@ BitrussResult DecomposeParallelPeel(const BipartiteGraph& g,
   for (const PeelScratch& s : scratch) {
     result.counters.support_updates += s.updates;
   }
+  metrics.rounds->Inc(rounds);
+  metrics.deltas_merged->Inc(deltas_merged);
+  peel_span.Note("rounds", static_cast<double>(rounds));
+  peel_span.Note("deltas_merged", static_cast<double>(deltas_merged));
   result.counters.peeling_seconds = timer.Seconds();
   return result;
 }

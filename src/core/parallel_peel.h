@@ -23,6 +23,7 @@
 
 #include "core/bitruss_result.h"
 #include "graph/bipartite_graph.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -35,6 +36,9 @@ struct ParallelPeelOptions {
   /// expired run returns partial results with timed_out set.  Every phi
   /// value assigned before expiry is the edge's true bitruss number.
   Deadline deadline;
+  /// Optional phase tracing (counting and peeling spans, with round and
+  /// frontier totals as notes).  Null disables tracing at zero cost.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Full decomposition via round-based parallel peeling.  phi, supports and

@@ -2,10 +2,22 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace bitruss {
 
 namespace {
 constexpr std::uint32_t kDeadlinePollInterval = 1024;
+
+// One "round" = one assignment step of the peel loop: a successful pop in
+// kSingle mode, a drained support level in the batch modes.  Accumulated
+// locally and flushed once per Run so the hot loop touches no atomics.
+obs::Counter* PeelRoundsCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Default().GetCounter(
+          "bitruss_core_peel_rounds_total");
+  return counter;
+}
 }  // namespace
 
 Peeler::Peeler(BEIndex index, std::vector<SupportT> support,
@@ -116,6 +128,7 @@ bool Peeler::Run(Mode mode, const Deadline& deadline,
 
   SupportT level = 0;
   std::uint32_t since_poll = 0;
+  std::uint64_t rounds = 0;
   std::vector<EdgeId> batch;
 
   while (remaining > 0) {
@@ -123,7 +136,10 @@ bool Peeler::Run(Mode mode, const Deadline& deadline,
     if (cursor_ >= buckets_.size()) break;  // defensive; cannot occur
     if (++since_poll >= kDeadlinePollInterval) {
       since_poll = 0;
-      if (deadline.Expired()) return false;
+      if (deadline.Expired()) {
+        if (rounds > 0) PeelRoundsCounter()->Inc(rounds);
+        return false;
+      }
     }
 
     if (mode == Mode::kSingle) {
@@ -131,6 +147,7 @@ bool Peeler::Run(Mode mode, const Deadline& deadline,
       const EdgeId e = bucket.back();
       bucket.pop_back();
       if (removed_[e] || support_[e] != cursor_) continue;  // stale entry
+      ++rounds;
       level = std::max(level, cursor_);
       removed_[e] = 1;
       --remaining;
@@ -153,6 +170,7 @@ bool Peeler::Run(Mode mode, const Deadline& deadline,
       }
     }
     if (batch.empty()) continue;
+    ++rounds;
     level = std::max(level, cursor_);
     remaining -= static_cast<EdgeId>(batch.size());
     for (const EdgeId e : batch) on_assign(e, level);
@@ -167,6 +185,7 @@ bool Peeler::Run(Mode mode, const Deadline& deadline,
     since_poll += static_cast<std::uint32_t>(
         std::min<std::size_t>(batch.size(), kDeadlinePollInterval));
   }
+  if (rounds > 0) PeelRoundsCounter()->Inc(rounds);
   return true;
 }
 

@@ -5,8 +5,45 @@
 
 #include "butterfly/wedge_enumeration.h"
 #include "core/local_peel.h"
+#include "obs/metrics.h"
 
 namespace bitruss {
+
+namespace {
+
+// Process-wide dynamic-maintenance telemetry.  IncrementalBitruss itself
+// is movable (it cannot hold atomics), so the registry instruments live
+// here and every instance reports into the same family; per-instance
+// numbers stay in IncrementalTotals / IncrementalUpdateStats.
+struct DynamicMetrics {
+  obs::Counter* inserts;
+  obs::Counter* deletes;
+  obs::Counter* local_repairs;
+  obs::Counter* fallbacks;
+  obs::Counter* phi_changes;
+  obs::Histogram* repair_frontier_edges;
+  obs::Histogram* repair_butterflies;
+
+  static const DynamicMetrics& Get() {
+    static const DynamicMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Default();
+      return DynamicMetrics{
+          registry.GetCounter("bitruss_dynamic_inserts_total"),
+          registry.GetCounter("bitruss_dynamic_deletes_total"),
+          registry.GetCounter("bitruss_dynamic_local_repairs_total"),
+          registry.GetCounter("bitruss_dynamic_fallbacks_total"),
+          registry.GetCounter("bitruss_dynamic_phi_changes_total"),
+          registry.GetHistogram("bitruss_dynamic_repair_frontier_edges",
+                                obs::ExponentialBuckets(1.0, 4.0, 10)),
+          registry.GetHistogram("bitruss_dynamic_repair_butterflies",
+                                obs::ExponentialBuckets(1.0, 4.0, 12)),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 IncrementalBitruss::IncrementalBitruss(const BipartiteGraph& seed,
                                        IncrementalBitrussOptions options)
@@ -54,6 +91,7 @@ StatusOr<EdgeId> IncrementalBitruss::InsertEdge(VertexId upper_local,
   last_ = IncrementalUpdateStats{};
   entry_labels_.clear();
   ++totals_.inserts;
+  DynamicMetrics::Get().inserts->Inc();
 
   bool local_ok;
   if (delta_.butterflies == 0) {
@@ -82,6 +120,7 @@ Status IncrementalBitruss::DeleteEdge(EdgeId slot) {
   last_ = IncrementalUpdateStats{};
   entry_labels_.clear();
   ++totals_.deletes;
+  DynamicMetrics::Get().deletes->Inc();
 
   bool local_ok;
   if (delta_.butterflies == 0 || k_star == 0) {
@@ -205,8 +244,10 @@ bool IncrementalBitruss::RepairDelete(const SupportT k_star) {
 
 void IncrementalBitruss::FinishUpdate(const bool local_ok, const VertexId u,
                                       const VertexId v) {
+  const DynamicMetrics& metrics = DynamicMetrics::Get();
   if (local_ok) {
     ++totals_.local_repairs;
+    metrics.local_repairs->Inc();
   } else {
     // Roll the part-way repaired labels back to their pre-update values
     // (reverse order: the first record per edge is the oldest), then
@@ -216,10 +257,16 @@ void IncrementalBitruss::FinishUpdate(const bool local_ok, const VertexId u,
     }
     last_.fallback = true;
     ++totals_.fallbacks;
+    metrics.fallbacks->Inc();
     RecomputeComponents(u, v);
   }
   totals_.enumerated_butterflies += last_.enumerated_butterflies;
   totals_.phi_changes += last_.phi_changes;
+  metrics.phi_changes->Inc(last_.phi_changes);
+  metrics.repair_frontier_edges->Observe(
+      static_cast<double>(last_.frontier_edges));
+  metrics.repair_butterflies->Observe(
+      static_cast<double>(last_.enumerated_butterflies));
 }
 
 void IncrementalBitruss::RecomputeComponents(const VertexId u,

@@ -1,0 +1,334 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/memory_tracker.h"
+
+namespace bitruss::obs {
+
+namespace {
+
+// %g keeps bucket bounds like 1, 0.5, 1e+06 readable and round-trippable
+// for the golden exposition tests; sums get enough digits to be useful
+// without drowning the text format in noise.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  // Value-initialized array: every bucket starts at 0 (std::atomic's
+  // default constructor would leave them indeterminate before C++20).
+  buckets_.reset(new std::atomic<std::uint64_t>[bounds_.size() + 1]());
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.Bounds() != bounds_) return;
+  for (std::size_t i = 0; i < NumBuckets(); ++i) {
+    buckets_[i].fetch_add(other.BucketCount(i), std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.TotalCount(), std::memory_order_relaxed);
+  const double add = other.Sum();
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + add,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width,
+                                  std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+const CounterSample* RegistrySnapshot::FindCounter(
+    const std::string& name) const {
+  for (const CounterSample& s : counters) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const GaugeSample* RegistrySnapshot::FindGauge(const std::string& name) const {
+  for (const GaugeSample& s : gauges) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const HistogramSample* RegistrySnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSample& s : histograms) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked deliberately: instrument pointers cached by call sites must
+  // outlive every static destructor that could still report into them.
+  static MetricsRegistry* const instance = [] {
+    auto* registry = new MetricsRegistry();
+    registry->AddGaugeCallback("bitruss_process_rss_bytes", [] {
+      return static_cast<std::int64_t>(CurrentRssBytes());
+    });
+    registry->AddGaugeCallback("bitruss_process_peak_rss_bytes", [] {
+      return static_cast<std::int64_t>(PeakRssBytes());
+    });
+    return registry;
+  }();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CounterFamily& family = counters_[name];
+  if (!family.owned) family.owned = std::make_unique<Counter>();
+  return family.owned.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& gauge = gauges_[name];
+  if (!gauge) gauge = std::make_unique<Gauge>();
+  return gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramFamily& family = histograms_[name];
+  if (!family.owned) family.owned = std::make_unique<Histogram>(bounds);
+  return family.owned.get();
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name,
+                                      const Counter* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name].external.push_back(counter);
+}
+
+void MetricsRegistry::UnregisterCounter(const std::string& name,
+                                        const Counter* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return;
+  auto& external = it->second.external;
+  const auto pos = std::remove(external.begin(), external.end(), counter);
+  if (pos == external.end()) return;  // was not registered
+  external.erase(pos, external.end());
+  // Absorb the departing instrument so family totals stay process-lifetime.
+  if (!it->second.owned) it->second.owned = std::make_unique<Counter>();
+  it->second.owned->Inc(counter->Value());
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name,
+                                        const Histogram* histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].external.push_back(histogram);
+}
+
+void MetricsRegistry::UnregisterHistogram(const std::string& name,
+                                          const Histogram* histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return;
+  auto& external = it->second.external;
+  const auto pos = std::remove(external.begin(), external.end(), histogram);
+  if (pos == external.end()) return;  // was not registered
+  external.erase(pos, external.end());
+  if (!it->second.owned) {
+    it->second.owned = std::make_unique<Histogram>(histogram->Bounds());
+  }
+  it->second.owned->MergeFrom(*histogram);
+}
+
+std::uint64_t MetricsRegistry::AddGaugeCallback(
+    const std::string& name, std::function<std::int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t handle = next_handle_++;
+  callbacks_.push_back({handle, name, std::move(fn)});
+  return handle;
+}
+
+void MetricsRegistry::RemoveGaugeCallback(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(std::remove_if(callbacks_.begin(), callbacks_.end(),
+                                  [handle](const GaugeCallback& cb) {
+                                    return cb.handle == handle;
+                                  }),
+                   callbacks_.end());
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, family] : counters_) {
+    CounterSample sample;
+    sample.name = name;
+    if (family.owned) sample.value = family.owned->Value();
+    for (const Counter* c : family.external) sample.value += c->Value();
+    snapshot.counters.push_back(std::move(sample));
+  }
+
+  // Gauges: owned instruments and callbacks sum into one family per name.
+  std::map<std::string, std::int64_t> gauge_values;
+  for (const auto& [name, gauge] : gauges_) {
+    gauge_values[name] += gauge->Value();
+  }
+  for (const GaugeCallback& cb : callbacks_) {
+    gauge_values[cb.name] += cb.fn();
+  }
+  snapshot.gauges.reserve(gauge_values.size());
+  for (const auto& [name, value] : gauge_values) {
+    snapshot.gauges.push_back({name, value});
+  }
+
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, family] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    const Histogram* shape =
+        family.owned ? family.owned.get()
+                     : (family.external.empty() ? nullptr
+                                                : family.external.front());
+    if (shape == nullptr) continue;
+    sample.bounds = shape->Bounds();
+    sample.bucket_counts.assign(shape->NumBuckets(), 0);
+    const auto merge = [&sample, shape](const Histogram* h) {
+      // Instances registered under one name must share the family's bucket
+      // layout; anything else is a naming bug and is skipped rather than
+      // merged into the wrong buckets.
+      if (h->Bounds() != shape->Bounds()) return;
+      for (std::size_t i = 0; i < sample.bucket_counts.size(); ++i) {
+        sample.bucket_counts[i] += h->BucketCount(i);
+      }
+      sample.count += h->TotalCount();
+      sample.sum += h->Sum();
+    };
+    if (family.owned) merge(family.owned.get());
+    for (const Histogram* h : family.external) merge(h);
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+std::string ExportPrometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& s : snapshot.counters) {
+    out += "# TYPE " + s.name + " counter\n";
+    out += s.name + " " + std::to_string(s.value) + "\n";
+  }
+  for (const GaugeSample& s : snapshot.gauges) {
+    out += "# TYPE " + s.name + " gauge\n";
+    out += s.name + " " + std::to_string(s.value) + "\n";
+  }
+  for (const HistogramSample& s : snapshot.histograms) {
+    out += "# TYPE " + s.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+      cumulative += s.bucket_counts[i];
+      const std::string le =
+          i < s.bounds.size() ? FormatDouble(s.bounds[i]) : "+Inf";
+      out += s.name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += s.name + "_sum " + FormatDouble(s.sum) + "\n";
+    out += s.name + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+std::string ExportJson(const RegistrySnapshot& snapshot) {
+  std::string out = "{";
+  out += "\"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendJsonString(snapshot.counters[i].name, &out);
+    out += ": " + std::to_string(snapshot.counters[i].value);
+  }
+  out += "}, \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendJsonString(snapshot.gauges[i].name, &out);
+    out += ": " + std::to_string(snapshot.gauges[i].value);
+  }
+  out += "}, \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& s = snapshot.histograms[i];
+    if (i > 0) out += ", ";
+    AppendJsonString(s.name, &out);
+    out += ": {\"bounds\": [";
+    for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += FormatDouble(s.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < s.bucket_counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(s.bucket_counts[b]);
+    }
+    out += "], \"count\": " + std::to_string(s.count);
+    out += ", \"sum\": " + FormatDouble(s.sum) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace bitruss::obs

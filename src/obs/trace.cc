@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bitruss::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_(Clock::now()) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+double TraceRecorder::NowSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
+int TraceRecorder::BeginSpan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_++;
+}
+
+void TraceRecorder::EndSpan(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth_ > 0) --depth_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    // Ring full: overwrite the oldest slot (recorded_ mod capacity walks
+    // the ring in insertion order).
+    ring_[recorded_ % capacity_] = std::move(record);
+  }
+  ++recorded_;
+}
+
+std::vector<SpanRecord> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recorded_ <= capacity_) return ring_;
+  std::vector<SpanRecord> ordered;
+  ordered.reserve(capacity_);
+  const std::size_t oldest = recorded_ % capacity_;
+  ordered.insert(ordered.end(), ring_.begin() + oldest, ring_.end());
+  ordered.insert(ordered.end(), ring_.begin(), ring_.begin() + oldest);
+  return ordered;
+}
+
+std::uint64_t TraceRecorder::RecordedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t TraceRecorder::DroppedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  recorded_ = 0;
+  depth_ = 0;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::vector<SpanRecord> events = Events();
+  std::string out = "{\"dropped\": " + std::to_string(DroppedSpans());
+  out += ", \"spans\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanRecord& span = events[i];
+    if (i > 0) out += ", ";
+    out += "{\"name\": ";
+    AppendJsonString(span.name, &out);
+    out += ", \"depth\": " + std::to_string(span.depth);
+    out += ", \"start_seconds\": " + FormatDouble(span.start_seconds);
+    out += ", \"duration_seconds\": " + FormatDouble(span.duration_seconds);
+    out += ", \"notes\": {";
+    for (std::size_t n = 0; n < span.notes.size(); ++n) {
+      if (n > 0) out += ", ";
+      AppendJsonString(span.notes[n].first, &out);
+      out += ": " + FormatDouble(span.notes[n].second);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceRecorder::IndentedSummary() const {
+  std::vector<SpanRecord> events = Events();
+  // Spans land in the ring at END time; a flame view wants start order.
+  // stable_sort keeps end-time order for identical starts, which puts a
+  // parent after a zero-length child only in the degenerate tie case.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_seconds != b.start_seconds
+                                ? a.start_seconds < b.start_seconds
+                                : a.depth < b.depth;
+                   });
+  std::string out = "trace: " + std::to_string(events.size()) + " spans (" +
+                    std::to_string(DroppedSpans()) + " dropped)\n";
+  for (const SpanRecord& span : events) {
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "  [%9.4fs] ", span.start_seconds);
+    out += prefix;
+    out.append(static_cast<std::size_t>(span.depth) * 2, ' ');
+    out += span.name + " " + FormatDouble(span.duration_seconds) + "s";
+    for (const auto& [key, value] : span.notes) {
+      out += "  " + key + "=" + FormatDouble(value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ObsSpan::ObsSpan(TraceRecorder* recorder, std::string name)
+    : recorder_(recorder), started_(std::chrono::steady_clock::now()) {
+  if (recorder_ == nullptr) return;
+  record_.name = std::move(name);
+  record_.depth = recorder_->BeginSpan();
+  record_.start_seconds = recorder_->NowSeconds();
+}
+
+void ObsSpan::Note(std::string key, double value) {
+  if (recorder_ == nullptr) return;
+  record_.notes.emplace_back(std::move(key), value);
+}
+
+double ObsSpan::Seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_)
+      .count();
+}
+
+void ObsSpan::End() {
+  if (recorder_ == nullptr) return;
+  record_.duration_seconds = Seconds();
+  recorder_->EndSpan(std::move(record_));
+  recorder_ = nullptr;
+}
+
+}  // namespace bitruss::obs

@@ -1,0 +1,111 @@
+// Observability layer: lightweight phase tracing.
+//
+// The paper's own evaluation is phase-structured (Fig. 5's BiT-BS
+// counting/peeling breakdown, Fig. 8's PC theta-ladder trace); this header
+// makes those phases first-class at runtime instead of per-bench timers.
+// An `ObsSpan` is an RAII scope that records its name, wall time, and any
+// numeric notes into a `TraceRecorder`'s bounded ring when it ends:
+//
+//     void RunPC(...) {
+//       obs::ObsSpan round(options.trace, "pc/round");   // null trace: no-op
+//       round.Note("theta", theta);
+//       ... the round's work ...
+//     }                                                  // recorded here
+//
+// Spans record at END time, so the ring is ordered by completion (a parent
+// lands after its children); `IndentedSummary()` re-sorts by start time
+// for a flame-style view.  The ring is bounded: once full, the oldest
+// record is overwritten and `DroppedSpans()` counts the loss — tracing
+// never grows without bound and never fails.
+//
+// Concurrency: Record/Events/dumps are mutex-guarded and safe from any
+// thread, but the nesting DEPTH is a single recorder-wide counter — spans
+// are meant to be opened by one orchestrating thread at a time (the
+// decompose/peel drivers do exactly this; parallel worker chunks are
+// covered by the enclosing phase span, not per-chunk spans).
+
+#ifndef BITRUSS_OBS_TRACE_H_
+#define BITRUSS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bitruss::obs {
+
+/// One completed span.
+struct SpanRecord {
+  std::string name;
+  int depth = 0;               ///< nesting depth when the span opened
+  double start_seconds = 0;    ///< relative to the recorder's construction
+  double duration_seconds = 0;
+  std::vector<std::pair<std::string, double>> notes;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1024);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  std::size_t Capacity() const { return capacity_; }
+  /// Completed spans, oldest to newest (end-time order); at most
+  /// Capacity() entries, the newest survive.
+  std::vector<SpanRecord> Events() const;
+  /// Spans ever recorded, including ones since overwritten.
+  std::uint64_t RecordedSpans() const;
+  /// Spans overwritten by ring wrap-around (RecordedSpans() - kept).
+  std::uint64_t DroppedSpans() const;
+  void Clear();
+
+  /// {"dropped": n, "spans": [{"name", "depth", "start_seconds",
+  /// "duration_seconds", "notes": {...}}, ...]}
+  std::string ToJson() const;
+  /// Flame-style text: one line per span in start order, indented by
+  /// nesting depth, with duration and notes.
+  std::string IndentedSummary() const;
+
+  // -- ObsSpan plumbing ------------------------------------------------------
+  double NowSeconds() const;
+  int BeginSpan();
+  void EndSpan(SpanRecord record);
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  std::uint64_t recorded_ = 0;
+  int depth_ = 0;
+};
+
+/// RAII phase scope.  A null recorder makes every operation a no-op, so
+/// instrumented code paths cost nothing when tracing is off.
+class ObsSpan {
+ public:
+  ObsSpan(TraceRecorder* recorder, std::string name);
+  ~ObsSpan() { End(); }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Attaches a numeric annotation (counters, sizes) to the record.
+  void Note(std::string key, double value);
+  /// Seconds since the span opened.
+  double Seconds() const;
+  /// Records the span now; later End()/destruction does nothing.
+  void End();
+
+ private:
+  TraceRecorder* recorder_;  // null after End()
+  SpanRecord record_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace bitruss::obs
+
+#endif  // BITRUSS_OBS_TRACE_H_

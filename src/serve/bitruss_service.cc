@@ -46,8 +46,11 @@ BitrussService::BitrussService(const BipartiteGraph& seed,
     : options_(std::move(options)),
       inc_(seed, options_.incremental),
       num_upper_(seed.NumUpper()),
-      num_lower_(seed.NumLower()) {
+      num_lower_(seed.NumLower()),
+      publish_seconds_(obs::ExponentialBuckets(1e-5, 2.0, 16)),
+      staleness_updates_(obs::ExponentialBuckets(1.0, 2.0, 12)) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  RegisterMetrics();
   // Version 1 covers the seed (0 applied updates); readers never observe a
   // null snapshot.  Publishing before the writer starts needs no atomics
   // beyond the store itself: thread creation orders everything before it.
@@ -55,7 +58,61 @@ BitrussService::BitrussService(const BipartiteGraph& seed,
   writer_ = std::thread(&BitrussService::WriterLoop, this);
 }
 
-BitrussService::~BitrussService() { Shutdown(/*drain=*/true); }
+BitrussService::~BitrussService() {
+  Shutdown(/*drain=*/true);
+  UnregisterMetrics();
+}
+
+void BitrussService::RegisterMetrics() {
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.RegisterCounter("bitruss_serve_submitted_total", &submitted_);
+  registry.RegisterCounter("bitruss_serve_applied_total", &applied_);
+  registry.RegisterCounter("bitruss_serve_apply_failures_total",
+                           &apply_failures_);
+  registry.RegisterCounter("bitruss_serve_rejected_overflow_total",
+                           &rejected_overflow_);
+  registry.RegisterCounter("bitruss_serve_published_snapshots_total",
+                           &published_snapshots_);
+  registry.RegisterCounter("bitruss_serve_compactions_total", &compactions_);
+  registry.RegisterCounter("bitruss_serve_reads_total", &snapshot_reads_);
+  registry.RegisterHistogram("bitruss_serve_publish_seconds",
+                             &publish_seconds_);
+  registry.RegisterHistogram("bitruss_serve_staleness_updates",
+                             &staleness_updates_);
+  // The depth gauges are plain atomic reads, safe under the registry lock.
+  gauge_callback_handles_.push_back(registry.AddGaugeCallback(
+      "bitruss_serve_queue_depth", [this] { return queue_depth_.Value(); }));
+  gauge_callback_handles_.push_back(
+      registry.AddGaugeCallback("bitruss_serve_queue_depth_peak", [this] {
+        return queue_depth_peak_.Value();
+      }));
+}
+
+void BitrussService::UnregisterMetrics() {
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.UnregisterCounter("bitruss_serve_submitted_total", &submitted_);
+  registry.UnregisterCounter("bitruss_serve_applied_total", &applied_);
+  registry.UnregisterCounter("bitruss_serve_apply_failures_total",
+                             &apply_failures_);
+  registry.UnregisterCounter("bitruss_serve_rejected_overflow_total",
+                             &rejected_overflow_);
+  registry.UnregisterCounter("bitruss_serve_published_snapshots_total",
+                             &published_snapshots_);
+  registry.UnregisterCounter("bitruss_serve_compactions_total", &compactions_);
+  registry.UnregisterCounter("bitruss_serve_reads_total", &snapshot_reads_);
+  registry.UnregisterHistogram("bitruss_serve_publish_seconds",
+                               &publish_seconds_);
+  registry.UnregisterHistogram("bitruss_serve_staleness_updates",
+                               &staleness_updates_);
+  for (const std::uint64_t handle : gauge_callback_handles_) {
+    registry.RemoveGaugeCallback(handle);
+  }
+  gauge_callback_handles_.clear();
+  // Keep the high-water mark visible after this instance dies (the
+  // instantaneous depth correctly reads 0 once the service is gone).
+  registry.GetGauge("bitruss_serve_queue_depth_peak")
+      ->MaxWith(queue_depth_peak_.Value());
+}
 
 Status BitrussService::Submit(const EdgeUpdate& update) {
   if (update.upper_local >= num_upper_ || update.lower_local >= num_lower_) {
@@ -67,11 +124,14 @@ Status BitrussService::Submit(const EdgeUpdate& update) {
       return UnavailableError("BitrussService is shut down");
     }
     if (queue_.size() >= options_.queue_capacity) {
-      rejected_overflow_.fetch_add(1, std::memory_order_relaxed);
+      rejected_overflow_.Inc();
       return ResourceExhaustedError("ingest queue full");
     }
     queue_.push_back(update);
-    submitted_.fetch_add(1, std::memory_order_release);
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    queue_depth_.Set(depth);
+    queue_depth_peak_.MaxWith(depth);
+    submitted_.IncOrdered();
   }
   queue_cv_.notify_one();
   return OkStatus();
@@ -81,9 +141,8 @@ Status BitrussService::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   drained_cv_.wait(lock, [&] {
     if (stopping_ && !drain_on_stop_) return true;  // reported below
-    const std::uint64_t applied = applied_.load(std::memory_order_acquire);
-    return queue_.empty() &&
-           applied == submitted_.load(std::memory_order_acquire) &&
+    const std::uint64_t applied = applied_.Value();
+    return queue_.empty() && applied == submitted_.Value() &&
            published_applied_.load(std::memory_order_acquire) == applied;
   });
   if (stopping_ && !drain_on_stop_) {
@@ -111,25 +170,26 @@ void BitrussService::Shutdown(bool drain) {
 }
 
 std::shared_ptr<const PhiSnapshot> BitrussService::Snapshot() const {
+  snapshot_reads_.Inc();
   return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
 }
 
 std::uint64_t BitrussService::StalenessUpdates() const {
   // Loads can interleave with a publication; clamp instead of wrapping.
-  const std::uint64_t applied = applied_.load(std::memory_order_acquire);
+  const std::uint64_t applied = applied_.Value();
   const std::uint64_t seen = published_applied_.load(std::memory_order_acquire);
   return applied > seen ? applied - seen : 0;
 }
 
 BitrussServiceStats BitrussService::Stats() const {
   BitrussServiceStats stats;
-  stats.submitted = submitted_.load(std::memory_order_acquire);
-  stats.applied = applied_.load(std::memory_order_acquire);
-  stats.apply_failures = apply_failures_.load(std::memory_order_acquire);
-  stats.rejected_overflow = rejected_overflow_.load(std::memory_order_acquire);
-  stats.published_snapshots =
-      published_version_.load(std::memory_order_acquire);
-  stats.compactions = compactions_.load(std::memory_order_acquire);
+  stats.submitted = submitted_.Value();
+  stats.applied = applied_.Value();
+  stats.apply_failures = apply_failures_.Value();
+  stats.rejected_overflow = rejected_overflow_.Value();
+  stats.published_snapshots = published_snapshots_.Value();
+  stats.compactions = compactions_.Value();
+  stats.snapshot_reads = snapshot_reads_.Value();
   return stats;
 }
 
@@ -158,16 +218,18 @@ void BitrussService::ApplyUpdate(const EdgeUpdate& update) {
         update.upper_local, num_upper_ + update.lower_local);
     ok = slot != kInvalidEdge && inc_.DeleteEdge(slot).ok();
   }
-  if (!ok) apply_failures_.fetch_add(1, std::memory_order_relaxed);
-  applied_.fetch_add(1, std::memory_order_release);
+  if (!ok) apply_failures_.Inc();
+  applied_.IncOrdered();
 }
 
 void BitrussService::PublishSnapshot() {
+  const Clock::time_point publish_start = Clock::now();
   const DynamicBipartiteGraph& graph = inc_.Graph();
   auto snapshot = std::make_shared<PhiSnapshot>();
-  const std::uint64_t version =
-      published_version_.load(std::memory_order_relaxed) + 1;
-  const std::uint64_t covers = applied_.load(std::memory_order_relaxed);
+  const std::uint64_t version = published_snapshots_.Value() + 1;
+  const std::uint64_t covers = applied_.Value();
+  const std::uint64_t prev_covered =
+      published_applied_.load(std::memory_order_relaxed);
   snapshot->version = version;
   snapshot->applied_updates = covers;
   snapshot->num_edges = graph.NumEdges();
@@ -187,10 +249,15 @@ void BitrussService::PublishSnapshot() {
       std::shared_ptr<const PhiSnapshot>(std::move(snapshot)),
       std::memory_order_release);
   // Ordered after the snapshot store: once these counters say "covered",
-  // Snapshot() already returns the covering version.
+  // Snapshot() already returns the covering version.  IncOrdered keeps the
+  // release semantics the raw version store had.
   published_applied_.store(covers, std::memory_order_release);
-  published_version_.store(version, std::memory_order_release);
+  published_snapshots_.IncOrdered();
   applied_since_publish_ = 0;
+  staleness_updates_.Observe(
+      static_cast<double>(covers > prev_covered ? covers - prev_covered : 0));
+  publish_seconds_.Observe(
+      std::chrono::duration<double>(Clock::now() - publish_start).count());
 }
 
 void BitrussService::WriterLoop() {
@@ -220,9 +287,11 @@ void BitrussService::WriterLoop() {
       drain = drain_on_stop_;
       if (stop && !drain) {
         queue_.clear();
+        queue_depth_.Set(0);
       } else if ((!paused_ || stop) && !queue_.empty()) {
         update = queue_.front();
         queue_.pop_front();
+        queue_depth_.Set(static_cast<std::int64_t>(queue_.size()));
         have = true;
       }
     }
@@ -234,7 +303,7 @@ void BitrussService::WriterLoop() {
           ++applied_since_compact_ >= options_.compact_every_updates) {
         inc_.CompactSlots();
         applied_since_compact_ = 0;
-        compactions_.fetch_add(1, std::memory_order_release);
+        compactions_.IncOrdered();
       }
     }
 

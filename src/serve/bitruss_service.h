@@ -56,6 +56,7 @@
 #include "dynamic/incremental_bitruss.h"
 #include "graph/bipartite_graph.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace bitruss {
@@ -134,6 +135,9 @@ struct BitrussServiceOptions {
 };
 
 /// Monotonic service counters, readable from any thread at any time.
+/// Backed by the service's obs::Counter instruments, which are also
+/// registered with obs::MetricsRegistry::Default() under
+/// `bitruss_serve_*` — one set of counters serves both views.
 struct BitrussServiceStats {
   std::uint64_t submitted = 0;   ///< accepted into the queue
   std::uint64_t applied = 0;     ///< consumed by the writer (incl. no-ops)
@@ -141,6 +145,7 @@ struct BitrussServiceStats {
   std::uint64_t rejected_overflow = 0;  ///< Submit calls bounced by backpressure
   std::uint64_t published_snapshots = 0;
   std::uint64_t compactions = 0;
+  std::uint64_t snapshot_reads = 0;  ///< Snapshot() acquisitions served
 };
 
 class BitrussService {
@@ -191,14 +196,10 @@ class BitrussService {
   SupportT Phi(EdgeId slot) const { return Snapshot()->Phi(slot); }
   SupportT SupportOf(EdgeId slot) const { return Snapshot()->SupportOf(slot); }
 
-  std::uint64_t SubmittedUpdates() const {
-    return submitted_.load(std::memory_order_acquire);
-  }
-  std::uint64_t AppliedUpdates() const {
-    return applied_.load(std::memory_order_acquire);
-  }
+  std::uint64_t SubmittedUpdates() const { return submitted_.Value(); }
+  std::uint64_t AppliedUpdates() const { return applied_.Value(); }
   std::uint64_t PublishedVersion() const {
-    return published_version_.load(std::memory_order_acquire);
+    return published_snapshots_.Value();
   }
   /// Applied updates not yet visible to readers (the writer's lead over
   /// the published snapshot, in updates).
@@ -222,6 +223,10 @@ class BitrussService {
   /// Freezes the current state into a snapshot and publishes it (writer
   /// thread, or the constructor before the writer starts).
   void PublishSnapshot();
+  /// Attach/detach the owned instruments to the default MetricsRegistry
+  /// under their `bitruss_serve_*` family names.
+  void RegisterMetrics();
+  void UnregisterMetrics();
 
   BitrussServiceOptions options_;
   IncrementalBitruss inc_;  // writer thread only (constructor excepted)
@@ -234,15 +239,25 @@ class BitrussService {
   // std::atomic_load / std::atomic_store (acquire/release): C++17's
   // spelling of atomic<shared_ptr>.
   std::shared_ptr<const PhiSnapshot> snapshot_;
-  std::atomic<std::uint64_t> published_version_{0};
   std::atomic<std::uint64_t> published_applied_{0};
 
-  // Counters (see BitrussServiceStats).
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> applied_{0};
-  std::atomic<std::uint64_t> apply_failures_{0};
-  std::atomic<std::uint64_t> rejected_overflow_{0};
-  std::atomic<std::uint64_t> compactions_{0};
+  // Counters (see BitrussServiceStats), doubling as the service's
+  // registry-visible instruments.  submitted_/applied_ and the publication
+  // pair keep their original release/acquire protocol via IncOrdered():
+  // Drain()'s predicate and readers' staleness math still synchronize-with
+  // the writer exactly as before the registry re-backing.
+  obs::Counter submitted_;
+  obs::Counter applied_;
+  obs::Counter apply_failures_;
+  obs::Counter rejected_overflow_;
+  obs::Counter published_snapshots_;
+  obs::Counter compactions_;
+  mutable obs::Counter snapshot_reads_;
+  obs::Gauge queue_depth_;       ///< instantaneous, set under mu_
+  obs::Gauge queue_depth_peak_;  ///< high-water mark across the run
+  obs::Histogram publish_seconds_;
+  obs::Histogram staleness_updates_;
+  std::vector<std::uint64_t> gauge_callback_handles_;
 
   // Ingest queue + writer control.
   mutable std::mutex mu_;

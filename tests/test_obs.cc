@@ -1,0 +1,313 @@
+// Tests for the observability layer (src/obs/): lock-free instruments
+// under concurrent update (exact totals from the shared thread pool, the
+// configuration the TSan CI job runs), histogram `le` bucket semantics,
+// registry snapshot/export golden checks, external-instrument
+// registration with absorb-on-unregister, and the TraceRecorder bounded
+// ring's overwrite-oldest contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace bitruss::obs {
+namespace {
+
+TEST(Counter, IncAndOrderedIncAccumulate) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Inc();
+  counter.Inc(41);
+  counter.IncOrdered(8);
+  EXPECT_EQ(counter.Value(), 50u);
+}
+
+TEST(Gauge, SetAddAndMaxWith) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.MaxWith(5);  // below current: no change
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.MaxWith(22);
+  EXPECT_EQ(gauge.Value(), 22);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  ASSERT_EQ(h.NumBuckets(), 4u);
+  // Prometheus `le` semantics: a value on a boundary lands in that bucket.
+  h.Observe(0.5);  // le=1
+  h.Observe(1.0);  // le=1 (boundary)
+  h.Observe(1.5);  // le=2
+  h.Observe(2.0);  // le=2 (boundary)
+  h.Observe(5.0);  // le=5 (boundary)
+  h.Observe(7.0);  // +Inf
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.TotalCount(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0);
+}
+
+TEST(Histogram, UnsortedDuplicateBoundsAreNormalized) {
+  Histogram h({5.0, 1.0, 5.0, 2.0});
+  EXPECT_EQ(h.Bounds(), (std::vector<double>{1.0, 2.0, 5.0}));
+}
+
+// The hot-path contract: concurrent relaxed increments lose nothing.
+// Four threads (the parallel execution layer's pool) hammer one counter,
+// one gauge (MaxWith) and one histogram; totals must be exact.
+TEST(Instruments, ConcurrentUpdatesAreExact) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+  Counter counter;
+  Gauge peak;
+  Histogram histogram({10.0, 100.0, 1000.0});
+
+  ThreadPool pool(kThreads);
+  pool.ParallelForChunks(
+      0, kThreads, kThreads,
+      [&](std::uint64_t, std::uint64_t, unsigned chunk, unsigned) {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          counter.Inc();
+          peak.MaxWith(static_cast<std::int64_t>(chunk * kPerThread + i));
+          histogram.Observe(static_cast<double>(i % 2000));
+        }
+      });
+
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  EXPECT_EQ(peak.Value(),
+            static_cast<std::int64_t>((kThreads - 1) * kPerThread +
+                                      kPerThread - 1));
+  EXPECT_EQ(histogram.TotalCount(), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b < histogram.NumBuckets(); ++b) {
+    bucket_total += histogram.BucketCount(b);
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+  // Sum is CAS-accumulated: exact for integer-valued observations.
+  double expected_sum = 0;
+  for (std::uint64_t i = 0; i < kPerThread; ++i) {
+    expected_sum += static_cast<double>(i % 2000) * kThreads;
+  }
+  EXPECT_DOUBLE_EQ(histogram.Sum(), expected_sum);
+}
+
+TEST(MetricsRegistry, OwnedInstrumentPointersAreStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("bitruss_test_a_total");
+  Counter* again = registry.GetCounter("bitruss_test_a_total");
+  EXPECT_EQ(a, again);
+  a->Inc(3);
+
+  Histogram* h = registry.GetHistogram("bitruss_test_h", {1.0, 2.0});
+  // Later bounds are ignored: first creation wins.
+  EXPECT_EQ(registry.GetHistogram("bitruss_test_h", {9.0}), h);
+  h->Observe(1.5);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  const CounterSample* counter = snapshot.FindCounter("bitruss_test_a_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 3u);
+  const HistogramSample* histogram = snapshot.FindHistogram("bitruss_test_h");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, 1u);
+  EXPECT_EQ(histogram->bucket_counts, (std::vector<std::uint64_t>{0, 1, 0}));
+}
+
+// The scope model: externally registered per-object instruments sum with
+// the owned family instrument, and unregistration folds their final value
+// into the family so totals stay process-lifetime.
+TEST(MetricsRegistry, ExternalInstrumentsSumAndAbsorbOnUnregister) {
+  MetricsRegistry registry;
+  registry.GetCounter("bitruss_test_served_total")->Inc(5);
+  Counter instance_a;
+  Counter instance_b;
+  instance_a.Inc(10);
+  instance_b.Inc(100);
+  registry.RegisterCounter("bitruss_test_served_total", &instance_a);
+  registry.RegisterCounter("bitruss_test_served_total", &instance_b);
+  EXPECT_EQ(registry.Snapshot().FindCounter("bitruss_test_served_total")->value,
+            115u);
+
+  registry.UnregisterCounter("bitruss_test_served_total", &instance_a);
+  EXPECT_EQ(registry.Snapshot().FindCounter("bitruss_test_served_total")->value,
+            115u);  // absorbed, not lost
+  // Unregistering an instrument that was never registered must not absorb.
+  registry.UnregisterCounter("bitruss_test_served_total", &instance_a);
+  EXPECT_EQ(registry.Snapshot().FindCounter("bitruss_test_served_total")->value,
+            115u);
+
+  Histogram external({1.0, 2.0});
+  external.Observe(0.5);
+  external.Observe(9.0);
+  registry.RegisterHistogram("bitruss_test_lat", &external);
+  EXPECT_EQ(registry.Snapshot().FindHistogram("bitruss_test_lat")->count, 2u);
+  registry.UnregisterHistogram("bitruss_test_lat", &external);
+  const RegistrySnapshot after = registry.Snapshot();
+  const HistogramSample* absorbed = after.FindHistogram("bitruss_test_lat");
+  ASSERT_NE(absorbed, nullptr);
+  EXPECT_EQ(absorbed->count, 2u);
+  EXPECT_EQ(absorbed->bucket_counts, (std::vector<std::uint64_t>{1, 0, 1}));
+}
+
+TEST(MetricsRegistry, GaugeCallbacksSumIntoFamilyAndRemove) {
+  MetricsRegistry registry;
+  registry.GetGauge("bitruss_test_depth")->Set(7);
+  const std::uint64_t handle =
+      registry.AddGaugeCallback("bitruss_test_depth", [] { return 35; });
+  EXPECT_EQ(registry.Snapshot().FindGauge("bitruss_test_depth")->value, 42);
+  registry.RemoveGaugeCallback(handle);
+  EXPECT_EQ(registry.Snapshot().FindGauge("bitruss_test_depth")->value, 7);
+}
+
+TEST(Exporters, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("bitruss_test_runs_total")->Inc(2);
+  registry.GetGauge("bitruss_test_bytes")->Set(1024);
+  Histogram* h = registry.GetHistogram("bitruss_test_seconds", {0.5, 1.0});
+  h->Observe(0.25);
+  h->Observe(0.75);
+  h->Observe(2.0);
+
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE bitruss_test_runs_total counter\n"
+                      "bitruss_test_runs_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE bitruss_test_bytes gauge\n"
+                      "bitruss_test_bytes 1024\n"),
+            std::string::npos);
+  // Buckets are cumulative in the exposition format.
+  EXPECT_NE(text.find("bitruss_test_seconds_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bitruss_test_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bitruss_test_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bitruss_test_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(Exporters, JsonShapeAndEscaping) {
+  MetricsRegistry registry;
+  registry.GetCounter("bitruss_test_runs_total")->Inc(7);
+  Histogram* h = registry.GetHistogram("bitruss_test_seconds", {1.0});
+  h->Observe(0.5);
+
+  const std::string json = ExportJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"counters\": {\"bitruss_test_runs_total\": 7}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bitruss_test_seconds\": {\"bounds\": [1], "
+                      "\"counts\": [1, 0], \"count\": 1, \"sum\": 0.5}"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, RecordsSpansWithNotesAndDepth) {
+  TraceRecorder trace(16);
+  {
+    ObsSpan outer(&trace, "outer");
+    {
+      ObsSpan inner(&trace, "inner");
+      inner.Note("edges", 42);
+    }
+  }
+  const std::vector<SpanRecord> events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record at END time: the inner span lands first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  ASSERT_EQ(events[0].notes.size(), 1u);
+  EXPECT_EQ(events[0].notes[0].first, "edges");
+  EXPECT_DOUBLE_EQ(events[0].notes[0].second, 42.0);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_GE(events[1].duration_seconds, events[0].duration_seconds);
+
+  const std::string summary = trace.IndentedSummary();
+  EXPECT_NE(summary.find("outer"), std::string::npos);
+  EXPECT_NE(summary.find("inner"), std::string::npos);
+  EXPECT_NE(summary.find("edges=42"), std::string::npos);
+  EXPECT_NE(trace.ToJson().find("\"name\": \"inner\""), std::string::npos);
+}
+
+TEST(TraceRecorder, BoundedRingOverwritesOldest) {
+  TraceRecorder trace(4);
+  for (int i = 0; i < 10; ++i) {
+    ObsSpan span(&trace, "span" + std::to_string(i));
+  }
+  EXPECT_EQ(trace.RecordedSpans(), 10u);
+  EXPECT_EQ(trace.DroppedSpans(), 6u);
+  const std::vector<SpanRecord> events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest four survive, oldest to newest.
+  EXPECT_EQ(events[0].name, "span6");
+  EXPECT_EQ(events[3].name, "span9");
+  EXPECT_NE(trace.ToJson().find("\"dropped\": 6"), std::string::npos);
+
+  trace.Clear();
+  EXPECT_EQ(trace.RecordedSpans(), 0u);
+  EXPECT_TRUE(trace.Events().empty());
+}
+
+TEST(ObsSpan, NullRecorderIsANoOpAndEndIsIdempotent) {
+  ObsSpan span(nullptr, "unrecorded");
+  span.Note("ignored", 1);
+  EXPECT_GE(span.Seconds(), 0.0);
+  span.End();
+  span.End();
+
+  TraceRecorder trace(4);
+  ObsSpan real(&trace, "once");
+  real.End();
+  real.End();  // second End must not record a duplicate
+  EXPECT_EQ(trace.RecordedSpans(), 1u);
+}
+
+// Snapshot is taken under the registry lock while writers keep going;
+// per-instrument values must still be internally consistent (bucket sums
+// equal the count once writers finish).
+TEST(MetricsRegistry, SnapshotUnderConcurrentWritesIsWellFormed) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("bitruss_test_hot_total");
+  Histogram* histogram =
+      registry.GetHistogram("bitruss_test_hot", {64.0, 512.0});
+
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20'000;
+  ThreadPool pool(kThreads);
+  pool.ParallelForChunks(
+      0, kThreads, kThreads,
+      [&](std::uint64_t, std::uint64_t, unsigned chunk, unsigned) {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          counter->Inc();
+          histogram->Observe(static_cast<double>(i % 1024));
+          if (chunk == 0 && i % 4096 == 0) {
+            // Concurrent scrapes must see sane (not torn) values.
+            const RegistrySnapshot snap = registry.Snapshot();
+            const CounterSample* c =
+                snap.FindCounter("bitruss_test_hot_total");
+            ASSERT_NE(c, nullptr);
+            EXPECT_LE(c->value, kThreads * kPerThread);
+          }
+        }
+      });
+
+  const RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.FindCounter("bitruss_test_hot_total")->value,
+            kThreads * kPerThread);
+  const HistogramSample* h = snap.FindHistogram("bitruss_test_hot");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kThreads * kPerThread);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : h->bucket_counts) total += b;
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace bitruss::obs
