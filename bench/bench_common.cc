@@ -5,6 +5,7 @@
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "gen/dataset_suite.h"
 #include "obs/metrics.h"
@@ -189,6 +190,17 @@ void WriteBenchJsonIfRequested() {
   std::snprintf(scale, sizeof(scale), "%g", BenchScale());
   out += ", \"scale\": ";
   out += scale;
+  const auto env_or = [](const char* name, const char* fallback) {
+    const char* value = std::getenv(name);
+    return std::string(value != nullptr && *value != '\0' ? value : fallback);
+  };
+  out += ", \"meta\": {\"git_sha\": ";
+  AppendJsonString(env_or("BITRUSS_BENCH_GIT_SHA", "unknown"), &out);
+  out += ", \"timestamp\": ";
+  AppendJsonString(env_or("BITRUSS_BENCH_TIMESTAMP", "unknown"), &out);
+  out += ", \"hardware_threads\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += "}";
   out += ", \"tables\": [";
   {
     std::lock_guard<std::mutex> lock(CaptureMu());

@@ -72,10 +72,15 @@ void ParseBenchArgs(int argc, char** argv);
 /// True when ParseBenchArgs saw `--json=<path>`.
 bool BenchJsonRequested();
 
-/// Writes `{"bench", "scale", "tables": [...], "metrics": {...}}` to the
-/// `--json` path (tables captured from every TablePrinter::Print since
-/// startup, metrics from obs::MetricsRegistry::Default).  No-op without
-/// the flag; prints the destination path on success.
+/// Writes `{"bench", "scale", "meta": {...}, "tables": [...], "metrics":
+/// {...}}` to the `--json` path (tables captured from every
+/// TablePrinter::Print since startup, metrics from
+/// obs::MetricsRegistry::Default).  `meta` stamps the run for baseline
+/// comparisons: git_sha and timestamp come from the caller via
+/// BITRUSS_BENCH_GIT_SHA / BITRUSS_BENCH_TIMESTAMP (the bench binary has
+/// no business shelling out to git or reading the clock differently per
+/// platform; CI stamps both), hardware_threads from the machine.  No-op
+/// without the flag; prints the destination path on success.
 void WriteBenchJsonIfRequested();
 
 /// Shorthand number formatting.

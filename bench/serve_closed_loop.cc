@@ -8,25 +8,44 @@
 // returns to the seed state and can repeat indefinitely), retrying on
 // backpressure; N reader threads run over the PR 5 thread pool
 // (util/thread_pool.h), each in a tight loop of snapshot acquisition +
-// point phi/support reads + periodic top-k, sampling staleness
-// (writer-applied updates minus the snapshot's covered updates) on every
-// acquisition.  After BITRUSS_SERVE_SECONDS (default 1.0) the loop stops
-// and the row reports applied-updates/s, aggregate read QPS, and
-// mean/max staleness.  The final table prints the 1 -> 4 reader aggregate
-// read-QPS scaling per dataset (lock-free snapshot reads should not lose
-// throughput as readers are added; gaining requires spare cores).
+// point phi/support reads + periodic top-k / histogram scans through the
+// service's timed read wrappers, sampling staleness (writer-applied
+// updates minus the snapshot's covered updates) on every acquisition.
+// After BITRUSS_SERVE_SECONDS (default 1.0) the loop stops and the row
+// reports applied-updates/s, aggregate read QPS, staleness p50/p95/p99
+// (bucket-interpolated estimates over every reader's samples), and the
+// visibility latency (submit -> first visible snapshot) p50/p99 for the
+// row, extracted from the process-wide
+// `bitruss_serve_visibility_seconds` family by snapshot subtraction.
+// The final table prints the 1 -> 4 reader aggregate read-QPS scaling per
+// dataset (lock-free snapshot reads should not lose throughput as readers
+// are added; gaining requires spare cores).
+//
+// Live observability flags (both optional):
+//   --admin-port=N   serve /metrics, /metrics.json, /tracez, /healthz on
+//                    127.0.0.1:N for the duration of the run (N=0 picks an
+//                    ephemeral port; the chosen port is printed)
+//   --events=PATH    write the serving lifecycle event log (publish,
+//                    compaction, fallback_recompute, backpressure_reject,
+//                    slow_apply) as JSON lines to PATH
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "dynamic/dynamic_graph.h"
+#include "obs/admin_server.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/bitruss_service.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -43,6 +62,24 @@ double ServeSeconds() {
     if (parsed > 0) return parsed;
   }
   return 1.0;
+}
+
+// The service under test changes per table row; /healthz always reports
+// the live one (or says the bench is between rows).
+std::mutex g_service_mu;
+BitrussService* g_service = nullptr;
+
+void SetCurrentService(BitrussService* service) {
+  std::lock_guard<std::mutex> lock(g_service_mu);
+  g_service = service;
+}
+
+std::string CurrentHealthJson() {
+  std::lock_guard<std::mutex> lock(g_service_mu);
+  if (g_service == nullptr) {
+    return "{\"status\": \"idle\", \"detail\": \"no service running\"}\n";
+  }
+  return g_service->HealthJson();
 }
 
 // Cyclic valid stream: `half` random valid ops simulated forward, then the
@@ -90,19 +127,37 @@ std::vector<EdgeUpdate> MakeCyclicStream(const BipartiteGraph& seed,
 struct RowResult {
   double applied_per_second = 0;
   double read_qps = 0;
-  double mean_staleness = 0;
-  std::uint64_t max_staleness = 0;
+  double stale_p50 = 0;
+  double stale_p95 = 0;
+  double stale_p99 = 0;
+  double visibility_p50_ms = 0;
+  double visibility_p99_ms = 0;
   std::uint64_t snapshots = 0;
 };
 
+// The row's share of the process-lifetime visibility-latency family:
+// sample before, run, sample after, subtract.
+obs::HistogramSample VisibilitySample() {
+  const obs::RegistrySnapshot snapshot =
+      obs::MetricsRegistry::Default().Snapshot();
+  const obs::HistogramSample* family =
+      snapshot.FindHistogram("bitruss_serve_visibility_seconds");
+  return family == nullptr ? obs::HistogramSample{} : *family;
+}
+
 RowResult RunClosedLoop(const BipartiteGraph& seed,
                         const std::vector<EdgeUpdate>& ops,
-                        unsigned num_readers, double seconds) {
+                        unsigned num_readers, double seconds,
+                        obs::EventLog* event_log) {
+  const obs::HistogramSample visibility_before = VisibilitySample();
+
   BitrussServiceOptions options;
   options.queue_capacity = 4096;
   options.publish_every_updates = 32;
   options.publish_interval_ms = 5.0;
+  options.event_log = event_log;
   BitrussService service(seed, options);
+  SetCurrentService(&service);
 
   std::atomic<bool> stop{false};
 
@@ -122,12 +177,14 @@ RowResult RunClosedLoop(const BipartiteGraph& seed,
     stop.store(true, std::memory_order_release);
   });
 
+  // Staleness distribution across every reader's snapshot acquisitions,
+  // in applied-updates behind; Observe is lock-free, so one shared
+  // instrument serves all readers.
+  obs::Histogram staleness(obs::ExponentialBuckets(1, 2, 16));
+
   // Reader threads over the PR 5 pool: one chunk per reader, the calling
   // thread serves as reader 0.
   std::vector<std::uint64_t> reads(num_readers, 0);
-  std::vector<std::uint64_t> staleness_sum(num_readers, 0);
-  std::vector<std::uint64_t> staleness_samples(num_readers, 0);
-  std::vector<std::uint64_t> staleness_max(num_readers, 0);
   ThreadPool pool(num_readers);
   pool.ParallelForChunks(
       0, num_readers, num_readers,
@@ -143,17 +200,23 @@ RowResult RunClosedLoop(const BipartiteGraph& seed,
           const std::uint64_t lag = applied > snap->applied_updates
                                         ? applied - snap->applied_updates
                                         : 0;
-          staleness_sum[chunk] += lag;
-          ++staleness_samples[chunk];
-          if (lag > staleness_max[chunk]) staleness_max[chunk] = lag;
-          // Four point reads per snapshot acquisition, plus a periodic
-          // top-k to exercise the scan path.
-          for (int i = 0; i < 4; ++i) {
+          staleness.Observe(static_cast<double>(lag));
+          // Four point reads per snapshot acquisition — three on the
+          // pinned snapshot, one through the service's timed Phi wrapper
+          // — plus periodic top-k and histogram scans through the timed
+          // wrappers, so the read-path latency families see real traffic.
+          for (int i = 0; i < 3; ++i) {
             sink += snap->Phi(probe % (snap->num_slots + 1));
             ++probe;
             ++local_reads;
           }
-          if ((local_reads & 1023u) == 0) sink += snap->TopKPhi(8).size();
+          sink += service.Phi(probe % (snap->num_slots + 1));
+          ++probe;
+          ++local_reads;
+          if ((local_reads & 1023u) == 0) sink += service.TopKPhi(8).size();
+          if ((local_reads & 4095u) == 0) {
+            sink += service.PhiHistogram().size();
+          }
         }
         reads[chunk] = local_reads + (sink & 1);  // keep sink observable
       });
@@ -162,23 +225,24 @@ RowResult RunClosedLoop(const BipartiteGraph& seed,
   const std::uint64_t applied = service.AppliedUpdates();
   const auto stats = service.Stats();
   service.Shutdown(/*drain=*/true);
+  SetCurrentService(nullptr);
+
+  // The writer is joined and the row's instruments are still registered:
+  // the family delta is exactly this row's visibility observations.
+  const obs::HistogramSample visibility =
+      obs::SubtractHistogramSample(VisibilitySample(), visibility_before);
 
   RowResult row;
   row.applied_per_second = static_cast<double>(applied) / seconds;
-  std::uint64_t total_reads = 0, total_lag = 0, total_samples = 0;
-  for (unsigned r = 0; r < num_readers; ++r) {
-    total_reads += reads[r];
-    total_lag += staleness_sum[r];
-    total_samples += staleness_samples[r];
-    if (staleness_max[r] > row.max_staleness) {
-      row.max_staleness = staleness_max[r];
-    }
-  }
+  std::uint64_t total_reads = 0;
+  for (unsigned r = 0; r < num_readers; ++r) total_reads += reads[r];
   row.read_qps = static_cast<double>(total_reads) / seconds;
-  row.mean_staleness = total_samples == 0
-                           ? 0
-                           : static_cast<double>(total_lag) /
-                                 static_cast<double>(total_samples);
+  const obs::HistogramSample stale = staleness.Sample();
+  row.stale_p50 = stale.Quantile(0.50);
+  row.stale_p95 = stale.Quantile(0.95);
+  row.stale_p99 = stale.Quantile(0.99);
+  row.visibility_p50_ms = visibility.Quantile(0.50) * 1e3;
+  row.visibility_p99_ms = visibility.Quantile(0.99) * 1e3;
   row.snapshots = stats.published_snapshots;
   return row;
 }
@@ -187,29 +251,69 @@ RowResult RunClosedLoop(const BipartiteGraph& seed,
 
 int main(int argc, char** argv) {
   ParseBenchArgs(argc, argv);
+  int admin_port = -1;  // -1: no admin server
+  std::string events_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
+      admin_port = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--events=", 9) == 0 &&
+               argv[i][9] != '\0') {
+      events_path = argv[i] + 9;
+    }
+  }
+
   PrintBanner("Serving closed loop",
               "1 ingest thread + N snapshot readers over BitrussService");
+
+  std::unique_ptr<obs::EventLog> event_log;
+  if (!events_path.empty()) {
+    event_log = std::make_unique<obs::EventLog>(events_path);
+    std::printf("event log: %s\n", events_path.c_str());
+  }
+
+  // One trace recorder across every row: /tracez shows the initial
+  // decompositions and any fallback recomputes of the whole run.
+  obs::TraceRecorder trace;
+  obs::AdminServer admin({admin_port < 0 ? 0 : admin_port});
+  if (admin_port >= 0) {
+    obs::RegisterStandardEndpoints(&admin, &obs::MetricsRegistry::Default(),
+                                   &trace);
+    admin.Handle("/healthz", [] {
+      return obs::AdminResponse{200, "application/json",
+                                CurrentHealthJson()};
+    });
+    const Status status = admin.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "admin server: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("admin server listening on 127.0.0.1:%d\n", admin.Port());
+  }
 
   const double seconds = ServeSeconds();
   const int half = static_cast<int>(400 * BenchScale()) + 50;
 
-  TablePrinter table("closed_loop",
-                     {"Dataset", "|E|", "readers", "applied/s", "read QPS",
-                      "QPS/reader", "mean stale", "max stale", "snapshots"});
+  TablePrinter table(
+      "closed_loop",
+      {"Dataset", "|E|", "readers", "applied/s", "read QPS", "stale p50",
+       "stale p95", "stale p99", "vis p50 ms", "vis p99 ms", "snapshots"});
   std::map<std::string, std::map<unsigned, double>> qps_by_readers;
   for (const char* name : {"Writer", "Github"}) {
     const BipartiteGraph& g = BenchDataset(name);
     const std::vector<EdgeUpdate> ops =
         MakeCyclicStream(g, half, HashString64(name) ^ 0xc105edull);
     for (const unsigned readers : {1u, 2u, 4u, 8u}) {
-      const RowResult row = RunClosedLoop(g, ops, readers, seconds);
+      const RowResult row =
+          RunClosedLoop(g, ops, readers, seconds, event_log.get());
       qps_by_readers[name][readers] = row.read_qps;
       table.AddRow({name, FormatCount(g.NumEdges()), FormatCount(readers),
                     FormatDouble(row.applied_per_second, 0),
                     FormatDouble(row.read_qps, 0),
-                    FormatDouble(row.read_qps / readers, 0),
-                    FormatDouble(row.mean_staleness, 1),
-                    FormatCount(row.max_staleness),
+                    FormatDouble(row.stale_p50, 1),
+                    FormatDouble(row.stale_p95, 1),
+                    FormatDouble(row.stale_p99, 1),
+                    FormatDouble(row.visibility_p50_ms, 3),
+                    FormatDouble(row.visibility_p99_ms, 3),
                     FormatCount(row.snapshots)});
     }
   }
@@ -230,5 +334,12 @@ int main(int argc, char** argv) {
               obs::ExportPrometheus(obs::MetricsRegistry::Default().Snapshot())
                   .c_str());
   WriteBenchJsonIfRequested();
+  if (admin_port >= 0) admin.Stop();
+  if (event_log != nullptr) {
+    event_log->Flush();
+    std::printf("event log: %llu events written, %llu dropped\n",
+                static_cast<unsigned long long>(event_log->EmittedEvents()),
+                static_cast<unsigned long long>(event_log->DroppedEvents()));
+  }
   return 0;
 }

@@ -1,0 +1,203 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bitruss::obs {
+
+namespace {
+
+// Requests are one GET line plus headers we ignore; anything larger than
+// this is not a scrape and is answered 400 without reading further.
+constexpr std::size_t kMaxRequestBytes = 8192;
+// Stop() latency bound: the listener re-checks the stop flag at least this
+// often while no connection arrives.
+constexpr int kAcceptPollMs = 50;
+// Per-connection I/O deadline; an admin port must not be wedgeable by a
+// client that connects and never writes (or never reads the response).
+constexpr int kIoPollMs = 2000;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, kIoPollMs) <= 0) return false;
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options) : options_(options) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Handle(const std::string& path, Handler handler) {
+  if (started_) return;
+  handlers_[path] = std::move(handler);
+}
+
+Status AdminServer::Start() {
+  if (started_) {
+    return FailedPreconditionError("AdminServer already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string message = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return InternalError(message);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string message = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return InternalError(message);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const std::string message =
+        std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return InternalError(message);
+  }
+
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  started_ = true;
+  listener_ = std::thread(&AdminServer::ListenLoop, this);
+  return OkStatus();
+}
+
+void AdminServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listener_.joinable()) listener_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+  port_.store(0, std::memory_order_release);
+}
+
+void AdminServer::ListenLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void AdminServer::ServeConnection(int client_fd) {
+  // Read until the end of the header block (we never accept bodies).
+  std::string request;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    pollfd pfd{client_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kIoPollMs) <= 0) return;  // silent: client stalled
+    char buffer[1024];
+    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  AdminResponse response;
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    response = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    const auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      response = {404, "text/plain; charset=utf-8",
+                  "no handler for " + path + "\n"};
+    } else {
+      response = it->second();
+    }
+  }
+
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  SendAll(client_fd, out);
+  requests_served_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void RegisterStandardEndpoints(AdminServer* server, MetricsRegistry* registry,
+                               TraceRecorder* trace) {
+  server->Handle("/metrics", [registry] {
+    return AdminResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                         ExportPrometheus(registry->Snapshot())};
+  });
+  server->Handle("/metrics.json", [registry] {
+    return AdminResponse{200, "application/json",
+                         ExportJson(registry->Snapshot())};
+  });
+  server->Handle("/tracez", [trace] {
+    if (trace == nullptr) {
+      return AdminResponse{404, "text/plain; charset=utf-8",
+                           "no trace recorder attached\n"};
+    }
+    return AdminResponse{200, "application/json", trace->ToJson()};
+  });
+}
+
+}  // namespace bitruss::obs

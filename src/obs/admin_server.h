@@ -1,0 +1,118 @@
+// Observability layer: embedded HTTP admin endpoint.
+//
+// A deliberately minimal HTTP/1.0 server — one listener thread, blocking
+// accept (bounded by a poll timeout so Stop() is prompt), one request per
+// connection, `Connection: close` — whose only job is to make the
+// in-process observability surface scrapeable while the service runs:
+//
+//     obs::AdminServer admin({.port = 0});           // 0 = ephemeral
+//     obs::RegisterStandardEndpoints(&admin, &obs::MetricsRegistry::Default(),
+//                                    &trace);        // /metrics, /tracez, ...
+//     admin.Handle("/healthz", [&] { return service.HealthJson(); ... });
+//     admin.Start();
+//     ... curl http://127.0.0.1:<admin.Port()>/metrics ...
+//     admin.Stop();
+//
+// Handlers run on the listener thread, so one slow scrape delays the next
+// — acceptable for an admin port (it is NOT the data plane; readers and
+// the writer never touch this thread).  Handlers must therefore be
+// wait-free with respect to the serving hot path: everything registered by
+// RegisterStandardEndpoints only takes registry/trace snapshots.
+//
+// The server binds 127.0.0.1 only: this is an operator port, not a public
+// listener; anything else belongs behind a real HTTP stack.  No deps
+// beyond POSIX sockets.
+
+#ifndef BITRUSS_OBS_ADMIN_SERVER_H_
+#define BITRUSS_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace bitruss::obs {
+
+class MetricsRegistry;
+class TraceRecorder;
+
+struct AdminServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with Port() after Start()).
+  int port = 0;
+};
+
+/// What a handler hands back; the server adds the status line,
+/// Content-Type, Content-Length and Connection headers.
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminServer {
+ public:
+  /// Produces the response for one GET request.  Runs on the listener
+  /// thread; must be safe to call concurrently with the rest of the
+  /// process (snapshot reads, no blocking on the serving hot path).
+  using Handler = std::function<AdminResponse()>;
+
+  explicit AdminServer(AdminServerOptions options = {});
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+  /// Stops the server if still running.
+  ~AdminServer();
+
+  /// Registers `handler` for exact-match `path` (query strings are
+  /// stripped before matching).  Must be called before Start(); later
+  /// registrations are rejected silently rather than racing the listener.
+  void Handle(const std::string& path, Handler handler);
+
+  /// Binds, listens, and starts the listener thread.  kInternal on any
+  /// socket-layer failure (the error message carries errno); calling
+  /// Start() twice returns kFailedPrecondition.
+  Status Start();
+
+  /// Stops the listener and joins its thread; idempotent.  In-flight
+  /// requests finish first (one request is at most one handler call).
+  void Stop();
+
+  /// The bound port (resolved ephemeral port included); 0 before Start().
+  int Port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Requests answered so far (404s/405s included).
+  std::uint64_t RequestsServed() const {
+    return requests_served_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void ListenLoop();
+  void ServeConnection(int client_fd);
+
+  AdminServerOptions options_;
+  std::map<std::string, Handler> handlers_;
+  std::atomic<int> port_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  int listen_fd_ = -1;
+  std::thread listener_;
+};
+
+/// Wires the standard observability endpoints onto `server` (call before
+/// Start()):
+///   /metrics       Prometheus text exposition of `registry`
+///   /metrics.json  ExportJson of the same snapshot
+///   /tracez        TraceRecorder::ToJson dump (404 when `trace` is null)
+/// Service-specific liveness (`/healthz`) is the caller's to register —
+/// see BitrussService::HealthJson.
+void RegisterStandardEndpoints(AdminServer* server, MetricsRegistry* registry,
+                               TraceRecorder* trace = nullptr);
+
+}  // namespace bitruss::obs
+
+#endif  // BITRUSS_OBS_ADMIN_SERVER_H_

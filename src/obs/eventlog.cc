@@ -1,0 +1,146 @@
+#include "obs/eventlog.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bitruss::obs {
+
+namespace {
+
+std::string RenderNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+}  // namespace
+
+EventField::EventField(std::string k, double value)
+    : key(std::move(k)), json_value(RenderNumber(value)) {}
+
+EventField::EventField(std::string k, std::uint64_t value)
+    : key(std::move(k)), json_value(std::to_string(value)) {}
+
+EventField::EventField(std::string k, std::int64_t value)
+    : key(std::move(k)), json_value(std::to_string(value)) {}
+
+EventField::EventField(std::string k, const char* value) : key(std::move(k)) {
+  AppendJsonEscaped(value, &json_value);
+}
+
+EventField::EventField(std::string k, const std::string& value)
+    : key(std::move(k)) {
+  AppendJsonEscaped(value, &json_value);
+}
+
+EventLog::EventLog(std::FILE* sink, EventLogOptions options)
+    : options_(options),
+      sink_(sink),
+      tokens_(options.burst > 0 ? options.burst : 1),
+      last_refill_(std::chrono::steady_clock::now()) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  sink_thread_ = std::thread(&EventLog::SinkLoop, this);
+}
+
+EventLog::EventLog(const std::string& path, EventLogOptions options)
+    : EventLog(std::fopen(path.c_str(), "w"), options) {
+  owns_sink_ = sink_ != nullptr;
+}
+
+EventLog::~EventLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (sink_thread_.joinable()) sink_thread_.join();
+  if (sink_ != nullptr) {
+    std::fflush(sink_);
+    if (owns_sink_) std::fclose(sink_);
+  }
+}
+
+void EventLog::Emit(const std::string& event,
+                    std::initializer_list<EventField> fields) {
+  if (sink_ == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  // Format outside the lock: pure string work on the caller's thread.
+  const double ts = std::chrono::duration<double>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  std::string line = "{\"ts\":";
+  char ts_buffer[64];
+  std::snprintf(ts_buffer, sizeof(ts_buffer), "%.6f", ts);
+  line += ts_buffer;
+  line += ",\"event\":";
+  AppendJsonEscaped(event, &line);
+  for (const EventField& field : fields) {
+    line += ',';
+    AppendJsonEscaped(field.key, &line);
+    line += ':';
+    line += field.json_value;
+  }
+  line += "}\n";
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.max_events_per_second > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      tokens_ += std::chrono::duration<double>(now - last_refill_).count() *
+                 options_.max_events_per_second;
+      const double cap = options_.burst > 0 ? options_.burst : 1;
+      if (tokens_ > cap) tokens_ = cap;
+      last_refill_ = now;
+      if (tokens_ < 1) {
+        dropped_.fetch_add(1, std::memory_order_acq_rel);
+        return;
+      }
+      tokens_ -= 1;
+    }
+    if (queue_.size() >= options_.queue_capacity || stopping_) {
+      dropped_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    queue_.push_back(std::move(line));
+  }
+  queue_cv_.notify_one();
+}
+
+void EventLog::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  flushed_cv_.wait(lock, [&] { return queue_.empty() && !sink_busy_; });
+  if (sink_ != nullptr) std::fflush(sink_);
+}
+
+void EventLog::SinkLoop() {
+  std::vector<std::string> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && stopping_) return;
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      sink_busy_ = true;
+    }
+    for (const std::string& line : batch) {
+      std::fwrite(line.data(), 1, line.size(), sink_);
+      emitted_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    std::fflush(sink_);
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sink_busy_ = false;
+    }
+    flushed_cv_.notify_all();
+  }
+}
+
+}  // namespace bitruss::obs

@@ -1,0 +1,124 @@
+// Observability layer: structured lifecycle event log.
+//
+// Metrics answer "how much / how fast"; the event log answers "what
+// happened, when, with what parameters" — one JSON object per line, e.g.
+//
+//   {"ts":1754650000.123456,"event":"publish","version":41,"covers":2624,
+//    "publish_seconds":0.00031,"staleness_updates":64}
+//
+// The design constraint is the single-writer serving thread: emitting an
+// event must NEVER block it on I/O or on a slow consumer.  Emit() formats
+// the line on the calling thread (string work only), then takes a brief
+// mutex to run a token-bucket rate limiter and push into a bounded queue;
+// a dedicated sink thread drains the queue to the output stream.  When
+// the rate limit or the queue bound is exceeded the event is DROPPED and
+// counted (DroppedEvents(), also scrapeable as
+// `bitruss_eventlog_dropped_total`) — loss is explicit, stalls are
+// impossible.  Lifecycle events the serving layer emits: publish,
+// compaction, fallback_recompute, backpressure_reject, slow_apply.
+//
+// Field values are pre-rendered by the EventField constructors (numbers
+// as JSON numbers, strings escaped), so Emit's formatting cost is a few
+// string appends.  Events from concurrent threads interleave whole-line
+// (the queue is the serialization point); within one thread, order is
+// preserved.
+
+#ifndef BITRUSS_OBS_EVENTLOG_H_
+#define BITRUSS_OBS_EVENTLOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace bitruss::obs {
+
+/// One key/value pair of an event; the constructor renders the value to
+/// its final JSON token so Emit never revisits it.
+struct EventField {
+  EventField(std::string k, double value);
+  EventField(std::string k, std::uint64_t value);
+  EventField(std::string k, std::int64_t value);
+  EventField(std::string k, int value)
+      : EventField(std::move(k), static_cast<std::int64_t>(value)) {}
+  EventField(std::string k, const char* value);
+  EventField(std::string k, const std::string& value);
+
+  std::string key;
+  std::string json_value;
+};
+
+struct EventLogOptions {
+  /// Events buffered for the sink thread; Emit drops (and counts) when
+  /// the queue is full rather than waiting for the sink.
+  std::size_t queue_capacity = 1024;
+  /// Token-bucket rate limit in events/second (0 = unlimited) with
+  /// `burst` tokens of headroom; events beyond the rate are dropped and
+  /// counted, which bounds both log volume and Emit's amortized cost
+  /// under an event storm.
+  double max_events_per_second = 2000;
+  double burst = 256;
+};
+
+class EventLog {
+ public:
+  /// Writes to `sink` (NOT owned — stderr is a fine choice); a null sink
+  /// drops everything (counted), so a disabled log needs no branching at
+  /// call sites.
+  explicit EventLog(std::FILE* sink, EventLogOptions options = {});
+  /// Opens `path` for writing (truncates); on failure the log behaves as
+  /// if constructed with a null sink.
+  explicit EventLog(const std::string& path, EventLogOptions options = {});
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Flushes what is queued, joins the sink thread, closes an owned file.
+  ~EventLog();
+
+  /// Enqueues `{"ts":...,"event":"<event>",<fields>}`; wall-clock ts with
+  /// microsecond resolution.  Never blocks on I/O; thread-safe.
+  void Emit(const std::string& event, std::initializer_list<EventField> fields);
+
+  /// Blocks until everything queued before the call is written (tests and
+  /// orderly shutdown; NOT for the serving thread).
+  void Flush();
+
+  std::uint64_t EmittedEvents() const {
+    return emitted_.load(std::memory_order_acquire);
+  }
+  std::uint64_t DroppedEvents() const {
+    return dropped_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void SinkLoop();
+
+  EventLogOptions options_;
+  std::FILE* sink_;       // null: drop-only mode
+  bool owns_sink_ = false;
+
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;    // sink waits for work/stop
+  std::condition_variable flushed_cv_;  // Flush waits for quiescence
+  std::deque<std::string> queue_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_refill_;
+  bool stopping_ = false;
+  bool sink_busy_ = false;
+
+  std::thread sink_thread_;
+};
+
+}  // namespace bitruss::obs
+
+#endif  // BITRUSS_OBS_EVENTLOG_H_

@@ -18,7 +18,9 @@ std::string FormatDouble(double value) {
   return buffer;
 }
 
-void AppendJsonString(const std::string& s, std::string* out) {
+}  // namespace
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
   out->push_back('"');
   for (const char c : s) {
     switch (c) {
@@ -38,8 +40,6 @@ void AppendJsonString(const std::string& s, std::string* out) {
   }
   out->push_back('"');
 }
-
-}  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
@@ -71,6 +71,62 @@ void Histogram::MergeFrom(const Histogram& other) {
   while (!sum_.compare_exchange_weak(sum, sum + add,
                                      std::memory_order_relaxed)) {
   }
+}
+
+HistogramSample Histogram::Sample(std::string name) const {
+  HistogramSample sample;
+  sample.name = std::move(name);
+  sample.bounds = bounds_;
+  sample.bucket_counts.reserve(NumBuckets());
+  for (std::size_t i = 0; i < NumBuckets(); ++i) {
+    sample.bucket_counts.push_back(BucketCount(i));
+  }
+  sample.count = TotalCount();
+  sample.sum = Sum();
+  return sample;
+}
+
+double HistogramSample::Quantile(double q) const {
+  if (count == 0 || bucket_counts.empty()) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_counts[i]);
+    if (cumulative + in_bucket < rank && i + 1 < bucket_counts.size()) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // Rank falls in the +Inf bucket: no upper bound to interpolate
+      // against, so clamp to the largest finite bound (the best estimate
+      // the bucket layout can give).
+      return bounds.empty() ? 0 : bounds.back();
+    }
+    if (in_bucket == 0) return bounds[i];
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double fraction = (rank - cumulative) / in_bucket;
+    return lower + (bounds[i] - lower) * fraction;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+HistogramSample SubtractHistogramSample(const HistogramSample& after,
+                                        const HistogramSample& before) {
+  if (after.bounds != before.bounds ||
+      after.bucket_counts.size() != before.bucket_counts.size()) {
+    return after;
+  }
+  HistogramSample delta = after;
+  for (std::size_t i = 0; i < delta.bucket_counts.size(); ++i) {
+    const std::uint64_t b = before.bucket_counts[i];
+    delta.bucket_counts[i] =
+        after.bucket_counts[i] > b ? after.bucket_counts[i] - b : 0;
+  }
+  delta.count = after.count > before.count ? after.count - before.count : 0;
+  delta.sum = after.sum > before.sum ? after.sum - before.sum : 0;
+  return delta;
 }
 
 std::vector<double> ExponentialBuckets(double start, double factor,
@@ -300,20 +356,20 @@ std::string ExportJson(const RegistrySnapshot& snapshot) {
   out += "\"counters\": {";
   for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
     if (i > 0) out += ", ";
-    AppendJsonString(snapshot.counters[i].name, &out);
+    AppendJsonEscaped(snapshot.counters[i].name, &out);
     out += ": " + std::to_string(snapshot.counters[i].value);
   }
   out += "}, \"gauges\": {";
   for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
     if (i > 0) out += ", ";
-    AppendJsonString(snapshot.gauges[i].name, &out);
+    AppendJsonEscaped(snapshot.gauges[i].name, &out);
     out += ": " + std::to_string(snapshot.gauges[i].value);
   }
   out += "}, \"histograms\": {";
   for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
     const HistogramSample& s = snapshot.histograms[i];
     if (i > 0) out += ", ";
-    AppendJsonString(s.name, &out);
+    AppendJsonEscaped(s.name, &out);
     out += ": {\"bounds\": [";
     for (std::size_t b = 0; b < s.bounds.size(); ++b) {
       if (b > 0) out += ", ";

@@ -86,6 +86,8 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+struct HistogramSample;
+
 /// Fixed-bucket histogram.  `bounds` are ascending inclusive upper bounds
 /// (Prometheus `le` semantics: value v lands in the first bucket with
 /// v <= bound); one implicit +Inf bucket catches the rest, so there are
@@ -106,6 +108,12 @@ class Histogram {
   /// by the registry to fold a dying external instrument into the owned
   /// family instrument.  `other` must be quiescent during the merge.
   void MergeFrom(const Histogram& other);
+
+  /// Point-in-time copy of this instrument as a snapshot sample (one
+  /// atomic load per field — same consistency contract as
+  /// MetricsRegistry::Snapshot), usable with HistogramSample::Quantile
+  /// without going through a registry.
+  HistogramSample Sample(std::string name = {}) const;
 
   const std::vector<double>& Bounds() const { return bounds_; }
   std::size_t NumBuckets() const { return bounds_.size() + 1; }
@@ -155,7 +163,26 @@ struct HistogramSample {
   std::vector<std::uint64_t> bucket_counts;
   std::uint64_t count = 0;
   double sum = 0;
+
+  /// Bucket-interpolated quantile estimate (Prometheus histogram_quantile
+  /// semantics): the target rank q*count is located in the cumulative
+  /// bucket counts and the answer interpolated linearly inside that
+  /// bucket, assuming observations spread uniformly across it.  The first
+  /// bucket interpolates from 0 (observations are assumed non-negative);
+  /// a rank landing in the +Inf bucket is clamped to the highest finite
+  /// bound.  This is an ESTIMATE whose error is bounded by the bucket
+  /// width at the quantile, not an exact order statistic.  q outside
+  /// [0, 1] is clamped; an empty histogram returns 0.
+  double Quantile(double q) const;
 };
+
+/// `after - before` per bucket (and count/sum), saturating at 0: the
+/// distribution of observations recorded between the two snapshots of one
+/// family.  The samples must share bucket bounds (`after` is returned
+/// unchanged otherwise) — the idiom for per-phase quantiles out of
+/// process-lifetime histograms.
+HistogramSample SubtractHistogramSample(const HistogramSample& after,
+                                        const HistogramSample& before);
 
 /// Point-in-time copy of every family, each vector sorted by name.
 struct RegistrySnapshot {
@@ -241,6 +268,11 @@ std::string ExportPrometheus(const RegistrySnapshot& snapshot);
 /// [...], "counts": [...], "count": n, "sum": s}}}` — `counts` are
 /// per-bucket (non-cumulative), last entry +Inf.
 std::string ExportJson(const RegistrySnapshot& snapshot);
+
+/// Appends `s` as a double-quoted JSON string (quotes included) with
+/// control characters escaped; shared by the obs exporters, the event log,
+/// and the admin endpoints.
+void AppendJsonEscaped(const std::string& s, std::string* out);
 
 }  // namespace bitruss::obs
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <map>
 
 namespace bitruss {
@@ -48,7 +49,16 @@ BitrussService::BitrussService(const BipartiteGraph& seed,
       num_upper_(seed.NumUpper()),
       num_lower_(seed.NumLower()),
       publish_seconds_(obs::ExponentialBuckets(1e-5, 2.0, 16)),
-      staleness_updates_(obs::ExponentialBuckets(1.0, 2.0, 12)) {
+      staleness_updates_(obs::ExponentialBuckets(1.0, 2.0, 12)),
+      // Lifecycle latencies: applies can take microseconds (trivial
+      // updates) to seconds (fallback recomputes); visibility adds the
+      // publish cadence on top.  Reads are nanoseconds to milliseconds
+      // (top-k scans).
+      apply_seconds_(obs::ExponentialBuckets(1e-6, 2.0, 22)),
+      visibility_seconds_(obs::ExponentialBuckets(1e-5, 2.0, 20)),
+      read_phi_seconds_(obs::ExponentialBuckets(1e-7, 2.0, 18)),
+      read_topk_seconds_(obs::ExponentialBuckets(1e-7, 2.0, 18)),
+      read_histogram_seconds_(obs::ExponentialBuckets(1e-7, 2.0, 18)) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   RegisterMetrics();
   // Version 1 covers the seed (0 applied updates); readers never observe a
@@ -79,6 +89,15 @@ void BitrussService::RegisterMetrics() {
                              &publish_seconds_);
   registry.RegisterHistogram("bitruss_serve_staleness_updates",
                              &staleness_updates_);
+  registry.RegisterHistogram("bitruss_serve_apply_seconds", &apply_seconds_);
+  registry.RegisterHistogram("bitruss_serve_visibility_seconds",
+                             &visibility_seconds_);
+  registry.RegisterHistogram("bitruss_serve_read_phi_seconds",
+                             &read_phi_seconds_);
+  registry.RegisterHistogram("bitruss_serve_read_topk_seconds",
+                             &read_topk_seconds_);
+  registry.RegisterHistogram("bitruss_serve_read_histogram_seconds",
+                             &read_histogram_seconds_);
   // The depth gauges are plain atomic reads, safe under the registry lock.
   gauge_callback_handles_.push_back(registry.AddGaugeCallback(
       "bitruss_serve_queue_depth", [this] { return queue_depth_.Value(); }));
@@ -104,6 +123,15 @@ void BitrussService::UnregisterMetrics() {
                                &publish_seconds_);
   registry.UnregisterHistogram("bitruss_serve_staleness_updates",
                                &staleness_updates_);
+  registry.UnregisterHistogram("bitruss_serve_apply_seconds", &apply_seconds_);
+  registry.UnregisterHistogram("bitruss_serve_visibility_seconds",
+                               &visibility_seconds_);
+  registry.UnregisterHistogram("bitruss_serve_read_phi_seconds",
+                               &read_phi_seconds_);
+  registry.UnregisterHistogram("bitruss_serve_read_topk_seconds",
+                               &read_topk_seconds_);
+  registry.UnregisterHistogram("bitruss_serve_read_histogram_seconds",
+                               &read_histogram_seconds_);
   for (const std::uint64_t handle : gauge_callback_handles_) {
     registry.RemoveGaugeCallback(handle);
   }
@@ -125,16 +153,25 @@ Status BitrussService::Submit(const EdgeUpdate& update) {
     }
     if (queue_.size() >= options_.queue_capacity) {
       rejected_overflow_.Inc();
-      return ResourceExhaustedError("ingest queue full");
+      // Event emitted outside mu_ below; the log's own lock is a leaf.
+    } else {
+      queue_.push_back({update, Clock::now()});
+      const auto depth = static_cast<std::int64_t>(queue_.size());
+      queue_depth_.Set(depth);
+      queue_depth_peak_.MaxWith(depth);
+      submitted_.IncOrdered();
+      queue_cv_.notify_one();
+      return OkStatus();
     }
-    queue_.push_back(update);
-    const auto depth = static_cast<std::int64_t>(queue_.size());
-    queue_depth_.Set(depth);
-    queue_depth_peak_.MaxWith(depth);
-    submitted_.IncOrdered();
   }
-  queue_cv_.notify_one();
-  return OkStatus();
+  if (options_.event_log != nullptr) {
+    options_.event_log->Emit(
+        "backpressure_reject",
+        {{"queue_capacity",
+          static_cast<std::uint64_t>(options_.queue_capacity)},
+         {"rejected_total", rejected_overflow_.Value()}});
+  }
+  return ResourceExhaustedError("ingest queue full");
 }
 
 Status BitrussService::Drain() {
@@ -174,6 +211,77 @@ std::shared_ptr<const PhiSnapshot> BitrussService::Snapshot() const {
   return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
 }
 
+SupportT BitrussService::Phi(EdgeId slot) const {
+  const Clock::time_point start = Clock::now();
+  const SupportT value = Snapshot()->Phi(slot);
+  read_phi_seconds_.Observe(
+      std::chrono::duration<double>(Clock::now() - start).count());
+  return value;
+}
+
+SupportT BitrussService::SupportOf(EdgeId slot) const {
+  const Clock::time_point start = Clock::now();
+  const SupportT value = Snapshot()->SupportOf(slot);
+  read_phi_seconds_.Observe(
+      std::chrono::duration<double>(Clock::now() - start).count());
+  return value;
+}
+
+std::vector<std::pair<EdgeId, SupportT>> BitrussService::TopKPhi(
+    std::size_t k) const {
+  const Clock::time_point start = Clock::now();
+  auto result = Snapshot()->TopKPhi(k);
+  read_topk_seconds_.Observe(
+      std::chrono::duration<double>(Clock::now() - start).count());
+  return result;
+}
+
+std::vector<std::pair<SupportT, std::uint64_t>> BitrussService::PhiHistogram()
+    const {
+  const Clock::time_point start = Clock::now();
+  auto result = Snapshot()->PhiHistogram();
+  read_histogram_seconds_.Observe(
+      std::chrono::duration<double>(Clock::now() - start).count());
+  return result;
+}
+
+std::uint64_t BitrussService::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+double BitrussService::SnapshotAgeSeconds() const {
+  const std::int64_t stamp = last_publish_ns_.load(std::memory_order_acquire);
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count();
+  return stamp == 0 || now < stamp
+             ? 0
+             : static_cast<double>(now - stamp) * 1e-9;
+}
+
+std::string BitrussService::HealthJson() const {
+  const std::shared_ptr<const PhiSnapshot> snap = Snapshot();
+  char age[64];
+  std::snprintf(age, sizeof(age), "%.6f", SnapshotAgeSeconds());
+  std::string out = "{\"status\":\"ok\"";
+  out += ",\"snapshot_version\":" + std::to_string(snap->version);
+  out += ",\"snapshot_applied_updates\":" +
+         std::to_string(snap->applied_updates);
+  out += ",\"snapshot_age_seconds\":";
+  out += age;
+  out += ",\"queue_depth\":" + std::to_string(QueueDepth());
+  out += ",\"queue_capacity\":" + std::to_string(options_.queue_capacity);
+  out += ",\"submitted_updates\":" + std::to_string(submitted_.Value());
+  out += ",\"applied_updates\":" + std::to_string(applied_.Value());
+  out += ",\"staleness_updates\":" + std::to_string(StalenessUpdates());
+  out += ",\"num_edges\":" + std::to_string(snap->num_edges);
+  out += ",\"num_butterflies\":" + std::to_string(snap->num_butterflies);
+  out += "}";
+  return out;
+}
+
 std::uint64_t BitrussService::StalenessUpdates() const {
   // Loads can interleave with a publication; clamp instead of wrapping.
   const std::uint64_t applied = applied_.Value();
@@ -209,7 +317,9 @@ void BitrussService::Resume() {
   queue_cv_.notify_all();
 }
 
-void BitrussService::ApplyUpdate(const EdgeUpdate& update) {
+void BitrussService::ApplyUpdate(const QueuedUpdate& queued) {
+  const EdgeUpdate& update = queued.update;
+  const Clock::time_point apply_start = Clock::now();
   bool ok = false;
   if (update.kind == EdgeUpdate::Kind::kInsert) {
     ok = inc_.InsertEdge(update.upper_local, update.lower_local).ok();
@@ -219,7 +329,34 @@ void BitrussService::ApplyUpdate(const EdgeUpdate& update) {
     ok = slot != kInvalidEdge && inc_.DeleteEdge(slot).ok();
   }
   if (!ok) apply_failures_.Inc();
+  const Clock::time_point done = Clock::now();
+  // Apply latency is submit -> applied: queue wait included, because that
+  // is what a client experiences before its update can become visible.
+  apply_seconds_.Observe(
+      std::chrono::duration<double>(done - queued.submit_time).count());
   applied_.IncOrdered();
+
+  if (options_.event_log != nullptr) {
+    const IncrementalUpdateStats& last = inc_.LastUpdateStats();
+    if (ok && last.fallback) {
+      options_.event_log->Emit(
+          "fallback_recompute",
+          {{"enumerated_butterflies", last.enumerated_butterflies},
+           {"frontier_edges", last.frontier_edges},
+           {"phi_changes", last.phi_changes}});
+    }
+    const double work_seconds =
+        std::chrono::duration<double>(done - apply_start).count();
+    if (options_.slow_apply_seconds > 0 &&
+        work_seconds > options_.slow_apply_seconds) {
+      options_.event_log->Emit(
+          "slow_apply",
+          {{"seconds", work_seconds},
+           {"kind", update.kind == EdgeUpdate::Kind::kInsert ? "insert"
+                                                             : "delete"},
+           {"fallback", static_cast<std::uint64_t>(last.fallback ? 1 : 0)}});
+    }
+  }
 }
 
 void BitrussService::PublishSnapshot() {
@@ -244,6 +381,7 @@ void BitrussService::PublishSnapshot() {
       snapshot->support[slot] = graph.Support(slot);
     }
   }
+  const EdgeId snapshot_num_edges = snapshot->num_edges;
   std::atomic_store_explicit(
       &snapshot_,
       std::shared_ptr<const PhiSnapshot>(std::move(snapshot)),
@@ -256,8 +394,32 @@ void BitrussService::PublishSnapshot() {
   applied_since_publish_ = 0;
   staleness_updates_.Observe(
       static_cast<double>(covers > prev_covered ? covers - prev_covered : 0));
-  publish_seconds_.Observe(
-      std::chrono::duration<double>(Clock::now() - publish_start).count());
+  const Clock::time_point published_at = Clock::now();
+  const double publish_cost =
+      std::chrono::duration<double>(published_at - publish_start).count();
+  publish_seconds_.Observe(publish_cost);
+  last_publish_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          published_at.time_since_epoch())
+          .count(),
+      std::memory_order_release);
+  // This publication is the first snapshot covering every update applied
+  // since the previous one: their visibility latency ends exactly here.
+  for (const Clock::time_point submit_time : pending_visibility_) {
+    visibility_seconds_.Observe(
+        std::chrono::duration<double>(published_at - submit_time).count());
+  }
+  pending_visibility_.clear();
+  if (options_.event_log != nullptr) {
+    options_.event_log->Emit(
+        "publish",
+        {{"version", version},
+         {"covers", covers},
+         {"publish_seconds", publish_cost},
+         {"staleness_updates",
+          covers > prev_covered ? covers - prev_covered : std::uint64_t{0}},
+         {"num_edges", static_cast<std::uint64_t>(snapshot_num_edges)}});
+  }
 }
 
 void BitrussService::WriterLoop() {
@@ -267,7 +429,7 @@ void BitrussService::WriterLoop() {
   Clock::time_point last_publish = Clock::now();
 
   for (;;) {
-    EdgeUpdate update;
+    QueuedUpdate queued;
     bool have = false;
     bool stop = false;
     bool drain = true;
@@ -289,7 +451,7 @@ void BitrussService::WriterLoop() {
         queue_.clear();
         queue_depth_.Set(0);
       } else if ((!paused_ || stop) && !queue_.empty()) {
-        update = queue_.front();
+        queued = queue_.front();
         queue_.pop_front();
         queue_depth_.Set(static_cast<std::int64_t>(queue_.size()));
         have = true;
@@ -297,13 +459,22 @@ void BitrussService::WriterLoop() {
     }
 
     if (have) {
-      ApplyUpdate(update);
+      ApplyUpdate(queued);
+      pending_visibility_.push_back(queued.submit_time);
       ++applied_since_publish_;
       if (options_.compact_every_updates != 0 &&
           ++applied_since_compact_ >= options_.compact_every_updates) {
+        const EdgeId slots_before = inc_.Graph().NumSlots();
         inc_.CompactSlots();
         applied_since_compact_ = 0;
         compactions_.IncOrdered();
+        if (options_.event_log != nullptr) {
+          options_.event_log->Emit(
+              "compaction",
+              {{"slots_before", static_cast<std::uint64_t>(slots_before)},
+               {"slots_after",
+                static_cast<std::uint64_t>(inc_.Graph().NumSlots())}});
+        }
       }
     }
 

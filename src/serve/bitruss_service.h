@@ -44,11 +44,13 @@
 #define BITRUSS_SERVE_BITRUSS_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -56,6 +58,7 @@
 #include "dynamic/incremental_bitruss.h"
 #include "graph/bipartite_graph.h"
 #include "graph/types.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -132,6 +135,13 @@ struct BitrussServiceOptions {
   /// Knobs for the owned IncrementalBitruss (cascade budget, fallback
   /// decompose algorithm).
   IncrementalBitrussOptions incremental;
+  /// Structured lifecycle event sink (publish, compaction,
+  /// fallback_recompute, backpressure_reject, slow_apply); not owned, must
+  /// outlive the service.  Null disables event emission entirely.
+  obs::EventLog* event_log = nullptr;
+  /// An apply whose own work (dequeue to done, queue wait excluded) takes
+  /// longer than this emits a `slow_apply` event; 0 disables.
+  double slow_apply_seconds = 0.05;
 };
 
 /// Monotonic service counters, readable from any thread at any time.
@@ -192,9 +202,15 @@ class BitrussService {
   /// The most recently published snapshot (never null).
   std::shared_ptr<const PhiSnapshot> Snapshot() const;
 
-  /// Point reads off the current snapshot.
-  SupportT Phi(EdgeId slot) const { return Snapshot()->Phi(slot); }
-  SupportT SupportOf(EdgeId slot) const { return Snapshot()->SupportOf(slot); }
+  /// Point reads off the current snapshot.  These service-level wrappers
+  /// are additionally TIMED (acquisition + query) into the
+  /// `bitruss_serve_read_{phi,topk,histogram}_seconds` histograms —
+  /// callers that hold a Snapshot() and query it directly skip the
+  /// clock overhead and the instruments.
+  SupportT Phi(EdgeId slot) const;
+  SupportT SupportOf(EdgeId slot) const;
+  std::vector<std::pair<EdgeId, SupportT>> TopKPhi(std::size_t k) const;
+  std::vector<std::pair<SupportT, std::uint64_t>> PhiHistogram() const;
 
   std::uint64_t SubmittedUpdates() const { return submitted_.Value(); }
   std::uint64_t AppliedUpdates() const { return applied_.Value(); }
@@ -204,6 +220,19 @@ class BitrussService {
   /// Applied updates not yet visible to readers (the writer's lead over
   /// the published snapshot, in updates).
   std::uint64_t StalenessUpdates() const;
+
+  /// Updates currently waiting in the ingest queue.
+  std::uint64_t QueueDepth() const;
+  /// Seconds since the last snapshot publication (how old the visible
+  /// state is in wall time; complements StalenessUpdates' update count).
+  double SnapshotAgeSeconds() const;
+
+  /// One-line JSON liveness document for an admin `/healthz` endpoint:
+  /// status, snapshot version + covered updates + age, queue depth /
+  /// capacity, applied/submitted counters, staleness, edge + butterfly
+  /// counts.  Safe from any thread; values are individually atomic (same
+  /// consistency contract as Stats()).
+  std::string HealthJson() const;
 
   BitrussServiceStats Stats() const;
 
@@ -216,10 +245,19 @@ class BitrussService {
   void Resume();
 
  private:
+  /// A queued update plus its submit timestamp: the lifecycle clock that
+  /// apply latency (submit -> applied) and visibility latency (submit ->
+  /// covering snapshot published) are measured against.
+  struct QueuedUpdate {
+    EdgeUpdate update;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
   void WriterLoop();
   /// Applies one update to the owned IncrementalBitruss (writer thread
-  /// only) and maintains the applied/failure counters.
-  void ApplyUpdate(const EdgeUpdate& update);
+  /// only) and maintains the applied/failure counters plus the
+  /// apply-latency histogram and slow-apply/fallback events.
+  void ApplyUpdate(const QueuedUpdate& queued);
   /// Freezes the current state into a snapshot and publishes it (writer
   /// thread, or the constructor before the writer starts).
   void PublishSnapshot();
@@ -257,13 +295,24 @@ class BitrussService {
   obs::Gauge queue_depth_peak_;  ///< high-water mark across the run
   obs::Histogram publish_seconds_;
   obs::Histogram staleness_updates_;
+  // Request-lifecycle latency instruments (PR 8): exact per-update
+  // submit->applied and submit->first-visible-snapshot walls, plus the
+  // timed read-path wrappers.
+  obs::Histogram apply_seconds_;
+  obs::Histogram visibility_seconds_;
+  mutable obs::Histogram read_phi_seconds_;
+  mutable obs::Histogram read_topk_seconds_;
+  mutable obs::Histogram read_histogram_seconds_;
   std::vector<std::uint64_t> gauge_callback_handles_;
+  /// Steady-clock nanosecond stamp of the last publication, for
+  /// SnapshotAgeSeconds (atomic: read from any thread).
+  std::atomic<std::int64_t> last_publish_ns_{0};
 
   // Ingest queue + writer control.
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;   // writer waits for work/stop
   std::condition_variable drained_cv_;  // Drain() waits for quiescence
-  std::deque<EdgeUpdate> queue_;
+  std::deque<QueuedUpdate> queue_;
   bool stopping_ = false;
   bool drain_on_stop_ = true;
   bool paused_ = false;
@@ -271,6 +320,10 @@ class BitrussService {
   // Writer-thread-local publication bookkeeping (no locking needed).
   std::uint64_t applied_since_publish_ = 0;
   std::uint64_t applied_since_compact_ = 0;
+  /// Submit timestamps of applied-but-not-yet-published updates; drained
+  /// into visibility_seconds_ at each publication (bounded by the publish
+  /// cadence: the writer publishes at the latest when its queue drains).
+  std::vector<std::chrono::steady_clock::time_point> pending_visibility_;
 
   std::mutex join_mu_;  // serializes the writer join across Shutdown races
   std::thread writer_;  // started last, joined by Shutdown

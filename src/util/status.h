@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kUnavailable,
+  kInternal,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -42,6 +43,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
   }
   return "UNKNOWN";
 }
@@ -91,6 +94,11 @@ inline Status ResourceExhaustedError(std::string message) {
 /// The target is shutting down (or not yet started) and cannot accept work.
 inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+/// An environment/OS-level operation failed (socket, file); the message
+/// carries the underlying errno text.
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
 }
 
 /// Either a value or a non-ok Status.  Accessing value() without checking

@@ -1,0 +1,325 @@
+// Tests for the embedded HTTP admin endpoint (obs/admin_server.h), driven
+// through a real loopback socket like an operator's curl would: the
+// /metrics body must be byte-identical to ExportPrometheus of the same
+// registry, /metrics.json must be well-formed JSON, routing must answer
+// 404/405/400 without wedging the listener, and concurrent scrapes must
+// all be served.  The JSON checks use a tiny recursive-descent validator
+// (no parser dependency) — well-formedness is the contract, not schema.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/admin_server.h"
+
+namespace bitruss::obs {
+namespace {
+
+struct HttpReply {
+  bool ok = false;  // connected, sent, and got a status line back
+  int status = 0;
+  std::string headers;  // raw header block (status line included)
+  std::string body;
+};
+
+// Minimal HTTP/1.0 client: one request, read to EOF (the server closes).
+HttpReply Fetch(int port, const std::string& request_line) {
+  HttpReply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return reply;
+  }
+  const std::string request = request_line + "\r\nHost: 127.0.0.1\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return reply;
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return reply;
+  reply.headers = response.substr(0, header_end);
+  reply.body = response.substr(header_end + 4);
+  if (std::sscanf(response.c_str(), "HTTP/1.0 %d", &reply.status) != 1) {
+    return reply;
+  }
+  reply.ok = true;
+  return reply;
+}
+
+HttpReply Get(int port, const std::string& path) {
+  return Fetch(port, "GET " + path + " HTTP/1.0");
+}
+
+// ---------------------------------------------------------------------------
+// Tiny JSON well-formedness validator.
+// ---------------------------------------------------------------------------
+
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[pos]))) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+};
+
+bool ValidValue(JsonCursor* cursor);
+
+bool ValidString(JsonCursor* cursor) {
+  if (!cursor->Eat('"')) return false;
+  while (cursor->pos < cursor->text.size()) {
+    const char c = cursor->text[cursor->pos++];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (cursor->pos >= cursor->text.size()) return false;
+      ++cursor->pos;  // escaped char (u-escapes validate loosely)
+    }
+  }
+  return false;
+}
+
+bool ValidNumber(JsonCursor* cursor) {
+  const std::size_t start = cursor->pos;
+  const std::string& t = cursor->text;
+  auto at = [&](char c) {
+    return cursor->pos < t.size() && t[cursor->pos] == c;
+  };
+  if (at('-')) ++cursor->pos;
+  while (cursor->pos < t.size() &&
+         (std::isdigit(static_cast<unsigned char>(t[cursor->pos])) ||
+          t[cursor->pos] == '.' || t[cursor->pos] == 'e' ||
+          t[cursor->pos] == 'E' || t[cursor->pos] == '+' ||
+          t[cursor->pos] == '-')) {
+    ++cursor->pos;
+  }
+  return cursor->pos > start;
+}
+
+bool ValidValue(JsonCursor* cursor) {
+  cursor->SkipSpace();
+  if (cursor->pos >= cursor->text.size()) return false;
+  const char c = cursor->text[cursor->pos];
+  if (c == '{') {
+    ++cursor->pos;
+    if (cursor->Eat('}')) return true;
+    do {
+      if (!ValidString(cursor)) return false;
+      if (!cursor->Eat(':')) return false;
+      if (!ValidValue(cursor)) return false;
+    } while (cursor->Eat(','));
+    return cursor->Eat('}');
+  }
+  if (c == '[') {
+    ++cursor->pos;
+    if (cursor->Eat(']')) return true;
+    do {
+      if (!ValidValue(cursor)) return false;
+    } while (cursor->Eat(','));
+    return cursor->Eat(']');
+  }
+  if (c == '"') return ValidString(cursor);
+  for (const char* literal : {"true", "false", "null"}) {
+    const std::size_t len = std::strlen(literal);
+    if (cursor->text.compare(cursor->pos, len, literal) == 0) {
+      cursor->pos += len;
+      return true;
+    }
+  }
+  return ValidNumber(cursor);
+}
+
+bool IsValidJson(const std::string& text) {
+  JsonCursor cursor{text};
+  if (!ValidValue(&cursor)) return false;
+  cursor.SkipSpace();
+  return cursor.pos == text.size();
+}
+
+TEST(AdminServerJsonValidator, AcceptsAndRejectsTheRightThings) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("{\"a\": [1, -2.5e3, \"x\\\"y\"], \"b\": null}"));
+  EXPECT_FALSE(IsValidJson("{\"a\": }"));
+  EXPECT_FALSE(IsValidJson("{\"a\": 1} trailing"));
+  EXPECT_FALSE(IsValidJson("[1, 2"));
+}
+
+// ---------------------------------------------------------------------------
+// Server behavior.
+// ---------------------------------------------------------------------------
+
+// An isolated registry (no process gauges, no concurrent writers) makes
+// the exposition deterministic: the endpoint body must be byte-identical
+// to calling the exporter directly.
+TEST(AdminServer, MetricsBodyMatchesExportPrometheusExactly) {
+  MetricsRegistry registry;
+  registry.GetCounter("bitruss_test_requests_total")->Inc(7);
+  registry.GetGauge("bitruss_test_depth")->Set(-3);
+  Histogram* h = registry.GetHistogram("bitruss_test_latency", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(10.0);
+
+  AdminServer server;
+  RegisterStandardEndpoints(&server, &registry);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.Port(), 0);
+
+  const HttpReply reply = Get(server.Port(), "/metrics");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.body, ExportPrometheus(registry.Snapshot()));
+  EXPECT_NE(reply.headers.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string length_header =
+      "Content-Length: " + std::to_string(reply.body.size());
+  EXPECT_NE(reply.headers.find(length_header), std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServer, JsonEndpointsAreWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("bitruss_test_total")->Inc();
+  registry.GetHistogram("bitruss_test_seconds", {1.0})->Observe(0.5);
+  TraceRecorder trace;
+
+  AdminServer server;
+  RegisterStandardEndpoints(&server, &registry, &trace);
+  ASSERT_TRUE(server.Start().ok());
+
+  const HttpReply metrics = Get(server.Port(), "/metrics.json");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(IsValidJson(metrics.body)) << metrics.body;
+  EXPECT_NE(metrics.headers.find("Content-Type: application/json"),
+            std::string::npos);
+
+  const HttpReply tracez = Get(server.Port(), "/tracez");
+  ASSERT_TRUE(tracez.ok);
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_TRUE(IsValidJson(tracez.body)) << tracez.body;
+  server.Stop();
+}
+
+TEST(AdminServer, RoutingAnswers404And405And400) {
+  MetricsRegistry registry;
+  AdminServer server;
+  RegisterStandardEndpoints(&server, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  const HttpReply missing = Get(server.Port(), "/nope");
+  ASSERT_TRUE(missing.ok);
+  EXPECT_EQ(missing.status, 404);
+
+  const HttpReply post = Fetch(server.Port(), "POST /metrics HTTP/1.0");
+  ASSERT_TRUE(post.ok);
+  EXPECT_EQ(post.status, 405);
+
+  const HttpReply malformed = Fetch(server.Port(), "GARBAGE");
+  ASSERT_TRUE(malformed.ok);
+  EXPECT_EQ(malformed.status, 400);
+
+  // A bad request must not take the listener down.
+  const HttpReply after = Get(server.Port(), "/metrics");
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.status, 200);
+  EXPECT_GE(server.RequestsServed(), 4u);
+  server.Stop();
+}
+
+TEST(AdminServer, QueryStringsAreStrippedBeforeRouting) {
+  MetricsRegistry registry;
+  AdminServer server;
+  RegisterStandardEndpoints(&server, &registry);
+  ASSERT_TRUE(server.Start().ok());
+  const HttpReply reply = Get(server.Port(), "/metrics?format=prometheus");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+  server.Stop();
+}
+
+TEST(AdminServer, CustomHandlerAndConcurrentScrapes) {
+  AdminServer server;
+  server.Handle("/healthz", [] {
+    return AdminResponse{200, "application/json", "{\"status\": \"ok\"}\n"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> clients;
+  std::vector<int> statuses(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const HttpReply reply = Get(server.Port(), "/healthz");
+      statuses[t] = reply.ok ? reply.status : -1;
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(statuses[t], 200) << t;
+  EXPECT_GE(server.RequestsServed(), static_cast<std::uint64_t>(kThreads));
+  server.Stop();
+}
+
+TEST(AdminServer, LifecycleIsStrictAboutStartAndIdempotentAboutStop) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const Status again = server.Start();
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_EQ(server.Port(), 0);
+
+  // Start() after Stop() binds a fresh (possibly different) port.
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.Port(), 0);
+  server.Stop();
+}
+
+// Registrations after Start() are ignored rather than racing the listener.
+TEST(AdminServer, LateHandlerRegistrationIsIgnored) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start().ok());
+  server.Handle("/late", [] { return AdminResponse{200, "text/plain", "x"}; });
+  const HttpReply reply = Get(server.Port(), "/late");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 404);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace bitruss::obs

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -307,6 +308,174 @@ TEST(MetricsRegistry, SnapshotUnderConcurrentWritesIsWellFormed) {
   std::uint64_t total = 0;
   for (const std::uint64_t b : h->bucket_counts) total += b;
   EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Bucket-interpolated quantiles (PR 8).
+// ---------------------------------------------------------------------------
+
+TEST(HistogramSample, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 5; ++i) h.Observe(5.0);   // bucket le=10: 5
+  for (int i = 0; i < 3; ++i) h.Observe(15.0);  // bucket le=20: 3
+  for (int i = 0; i < 2; ++i) h.Observe(30.0);  // bucket le=40: 2
+  const HistogramSample sample = h.Sample();
+
+  // rank 5 exhausts the first bucket exactly: interpolate to its bound.
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.5), 10.0);
+  // rank 9 is 1 observation into the (20, 40] bucket of 2: midpoint.
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.9), 30.0);
+  // The first bucket interpolates from 0 (Prometheus convention).
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.25), 5.0);
+  // q is clamped, not rejected.
+  EXPECT_DOUBLE_EQ(sample.Quantile(-1.0), sample.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(sample.Quantile(2.0), sample.Quantile(1.0));
+}
+
+TEST(HistogramSample, QuantileClampsInfBucketAndHandlesEmpty) {
+  Histogram h({10.0, 40.0});
+  EXPECT_DOUBLE_EQ(h.Sample().Quantile(0.5), 0.0);  // empty
+  h.Observe(1000.0);                                // +Inf bucket only
+  // A rank landing in +Inf is clamped to the highest finite bound: the
+  // estimate cannot exceed what the buckets can resolve.
+  EXPECT_DOUBLE_EQ(h.Sample().Quantile(0.5), 40.0);
+  EXPECT_DOUBLE_EQ(h.Sample().Quantile(1.0), 40.0);
+}
+
+TEST(HistogramSample, SubtractYieldsTheIntervalDistribution) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  const HistogramSample before = h.Sample();
+  h.Observe(1.5);
+  h.Observe(10.0);
+  const HistogramSample delta = SubtractHistogramSample(h.Sample(), before);
+  EXPECT_EQ(delta.count, 2u);
+  ASSERT_EQ(delta.bucket_counts.size(), 3u);
+  EXPECT_EQ(delta.bucket_counts[0], 0u);
+  EXPECT_EQ(delta.bucket_counts[1], 1u);
+  EXPECT_EQ(delta.bucket_counts[2], 1u);
+  EXPECT_DOUBLE_EQ(delta.sum, 11.5);
+
+  // Mismatched bounds: `after` is returned unchanged (no partial math).
+  Histogram other({5.0});
+  other.Observe(1.0);
+  const HistogramSample unchanged =
+      SubtractHistogramSample(other.Sample(), before);
+  EXPECT_EQ(unchanged.count, 1u);
+  EXPECT_DOUBLE_EQ(unchanged.sum, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Structured event log (PR 8).
+// ---------------------------------------------------------------------------
+
+TEST(EventLog, WritesOneJsonObjectPerLine) {
+  const std::string path = testing::TempDir() + "bitruss_eventlog_basic.jsonl";
+  {
+    EventLog log(path);
+    log.Emit("publish", {{"version", std::uint64_t{41}},
+                         {"publish_seconds", 0.25},
+                         {"note", "quote \" and \n newline"}});
+    log.Emit("compaction", {{"slots_before", 100}, {"slots_after", 90}});
+    log.Flush();
+    EXPECT_EQ(log.EmittedEvents(), 2u);
+    EXPECT_EQ(log.DroppedEvents(), 0u);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buffer[512];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(f);
+  EXPECT_NE(content.find("\"event\":\"publish\""), std::string::npos);
+  EXPECT_NE(content.find("\"version\":41"), std::string::npos);
+  EXPECT_NE(content.find("\"publish_seconds\":0.25"), std::string::npos);
+  EXPECT_NE(content.find("\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(content.find("\"slots_after\":90"), std::string::npos);
+  // Two lines, each a {...} object.
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t end = content.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(content[start], '{');
+    EXPECT_EQ(content[end - 1], '}');
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(EventLog, NullSinkDropsEverythingAndCounts) {
+  EventLog log(nullptr);
+  for (int i = 0; i < 5; ++i) log.Emit("publish", {{"i", i}});
+  EXPECT_EQ(log.EmittedEvents(), 0u);
+  EXPECT_EQ(log.DroppedEvents(), 5u);
+}
+
+TEST(EventLog, RateLimitDropsBeyondBurstAndCounts) {
+  EventLogOptions options;
+  options.max_events_per_second = 1e-6;  // effectively no refill mid-test
+  options.burst = 3;
+  const std::string path = testing::TempDir() + "bitruss_eventlog_rate.jsonl";
+  EventLog log(path, options);
+  for (int i = 0; i < 10; ++i) log.Emit("publish", {{"i", i}});
+  log.Flush();
+  EXPECT_EQ(log.EmittedEvents(), 3u);
+  EXPECT_EQ(log.DroppedEvents(), 7u);
+}
+
+TEST(EventLog, ConcurrentEmittersNeverTearLines) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerThread = 500;
+  const std::string path =
+      testing::TempDir() + "bitruss_eventlog_concurrent.jsonl";
+  {
+    EventLogOptions options;
+    options.max_events_per_second = 0;  // unlimited: only the queue bounds
+    options.queue_capacity = 16384;
+    EventLog log(path, options);
+    ThreadPool pool(kThreads);
+    pool.ParallelForChunks(
+        0, kThreads, kThreads,
+        [&](std::uint64_t, std::uint64_t, unsigned chunk, unsigned) {
+          for (int i = 0; i < kPerThread; ++i) {
+            log.Emit("slow_apply", {{"thread", static_cast<int>(chunk)},
+                                    {"i", i},
+                                    {"seconds", 0.001}});
+          }
+        });
+    log.Flush();
+    EXPECT_EQ(log.EmittedEvents() + log.DroppedEvents(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(log.DroppedEvents(), 0u);  // capacity exceeds the total
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(f);
+  // Whole-line interleaving: every line is a complete object.
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t end = content.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(content.compare(start, 6, "{\"ts\":"), 0)
+        << content.substr(start, 20);
+    EXPECT_EQ(content[end - 1], '}');
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
 }  // namespace

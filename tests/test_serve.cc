@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "dynamic/dynamic_graph.h"
 #include "gen/random_bipartite.h"
 #include "graph/bipartite_graph.h"
+#include "obs/metrics.h"
 #include "serve/bitruss_service.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -331,6 +333,91 @@ TEST(BitrussServiceStress, EverySnapshotMatchesOracleAtItsVersion) {
     ASSERT_NO_FATAL_FAILURE(
         ExpectSnapshotMatchesOracle(*snap, seed, ops, kCompactEvery));
   }
+}
+
+// The current visibility-latency family sample from the default registry
+// (the service registers its instruments there); empty before any service
+// ever ran in the process.
+obs::HistogramSample VisibilityFamilySample() {
+  const obs::RegistrySnapshot snapshot =
+      obs::MetricsRegistry::Default().Snapshot();
+  const obs::HistogramSample* family =
+      snapshot.FindHistogram("bitruss_serve_visibility_seconds");
+  return family == nullptr ? obs::HistogramSample{} : *family;
+}
+
+// Exactness of the request-lifecycle visibility latency (PR 8): with a
+// publish-per-update cadence, every submitted update contributes exactly
+// one observation, and each observation (submit -> covering snapshot
+// published) is bounded by the oracle wall this thread measures around it
+// (before-submit -> after-Drain, which by Drain's contract brackets the
+// publication).
+TEST(BitrussService, VisibilityLatencyIsExactPerUpdateAndBounded) {
+  const BipartiteGraph seed = GenerateUniformBipartite(20, 15, 110, 3);
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, 24, /*rng_seed=*/17);
+
+  BitrussServiceOptions options;
+  options.publish_every_updates = 1;  // one visibility sample per update
+  options.publish_interval_ms = 0;
+  BitrussService service(seed, options);
+
+  obs::HistogramSample prev = VisibilityFamilySample();
+  for (const EdgeUpdate& op : ops) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    ASSERT_TRUE(service.Submit(op).ok());
+    ASSERT_TRUE(service.Drain().ok());
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+    const obs::HistogramSample now = VisibilityFamilySample();
+    const obs::HistogramSample delta =
+        obs::SubtractHistogramSample(now, prev);
+    prev = now;
+    // Exactly this update's observation, bounded by the observed wall.
+    ASSERT_EQ(delta.count, 1u);
+    EXPECT_GE(delta.sum, 0.0);
+    EXPECT_LE(delta.sum, wall);
+  }
+  service.Shutdown(/*drain=*/true);
+}
+
+// The timed read wrappers must agree with direct snapshot queries and
+// record one observation per call into their latency families.
+TEST(BitrussService, TimedReadWrappersMatchSnapshotAndRecordLatency) {
+  const BipartiteGraph seed(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  const obs::HistogramSample phi_before = [&] {
+    const obs::RegistrySnapshot snap =
+        obs::MetricsRegistry::Default().Snapshot();
+    const obs::HistogramSample* family =
+        snap.FindHistogram("bitruss_serve_read_phi_seconds");
+    return family == nullptr ? obs::HistogramSample{} : *family;
+  }();
+
+  BitrussService service(seed);
+  const auto snap = service.Snapshot();
+  constexpr int kReads = 16;
+  for (int i = 0; i < kReads; ++i) {
+    const EdgeId slot = static_cast<EdgeId>(i) % (snap->num_slots + 1);
+    EXPECT_EQ(service.Phi(slot), snap->Phi(slot));
+    EXPECT_EQ(service.SupportOf(slot), snap->SupportOf(slot));
+  }
+  EXPECT_EQ(service.TopKPhi(2), snap->TopKPhi(2));
+  EXPECT_EQ(service.PhiHistogram(), snap->PhiHistogram());
+
+  const obs::RegistrySnapshot registry_snap =
+      obs::MetricsRegistry::Default().Snapshot();
+  const obs::HistogramSample* phi_family =
+      registry_snap.FindHistogram("bitruss_serve_read_phi_seconds");
+  ASSERT_NE(phi_family, nullptr);
+  // Phi and SupportOf both time into the phi family: 2 per iteration.
+  EXPECT_EQ(obs::SubtractHistogramSample(*phi_family, phi_before).count,
+            2u * kReads);
+  ASSERT_NE(registry_snap.FindHistogram("bitruss_serve_read_topk_seconds"),
+            nullptr);
+  ASSERT_NE(
+      registry_snap.FindHistogram("bitruss_serve_read_histogram_seconds"),
+      nullptr);
+  service.Shutdown();
 }
 
 }  // namespace
