@@ -4,11 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "gen/dataset_suite.h"
 #include "obs/metrics.h"
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace bitruss::bench {
@@ -34,8 +34,8 @@ std::string* JsonPath() {
   return &path;
 }
 
-std::mutex& CaptureMu() {
-  static std::mutex mu;
+Mutex& CaptureMu() {
+  static Mutex mu;
   return mu;
 }
 
@@ -85,9 +85,9 @@ const BipartiteGraph& BenchDataset(const std::string& name) {
   // Guarded so multi-threaded benches (and parallel smoke tests) can't race
   // the lookup/emplace; std::map nodes are stable, so the returned
   // reference stays valid while other threads insert.
-  static std::mutex mu;
+  static Mutex mu;
   static std::map<std::string, BipartiteGraph> cache;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   auto it = cache.find(name);
   if (it == cache.end()) {
     it = cache.emplace(name, MakeDataset(name, BenchScale())).first;
@@ -155,7 +155,7 @@ void TablePrinter::Print() const {
   for (std::size_t r = 1; r < rows_.size(); ++r) print_row(rows_[r]);
 
   if (BenchJsonRequested()) {
-    std::lock_guard<std::mutex> lock(CaptureMu());
+    MutexLock lock(CaptureMu());
     CapturedTable captured;
     captured.title = title_.empty()
                          ? "table_" + std::to_string(CapturedTables().size())
@@ -203,7 +203,7 @@ void WriteBenchJsonIfRequested() {
   out += "}";
   out += ", \"tables\": [";
   {
-    std::lock_guard<std::mutex> lock(CaptureMu());
+    MutexLock lock(CaptureMu());
     const std::vector<CapturedTable>& tables = CapturedTables();
     for (std::size_t t = 0; t < tables.size(); ++t) {
       if (t > 0) out += ", ";

@@ -35,7 +35,6 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +47,7 @@
 #include "obs/trace.h"
 #include "serve/bitruss_service.h"
 #include "util/random.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -66,16 +66,16 @@ double ServeSeconds() {
 
 // The service under test changes per table row; /healthz always reports
 // the live one (or says the bench is between rows).
-std::mutex g_service_mu;
-BitrussService* g_service = nullptr;
+Mutex g_service_mu;
+BitrussService* g_service GUARDED_BY(g_service_mu) = nullptr;
 
 void SetCurrentService(BitrussService* service) {
-  std::lock_guard<std::mutex> lock(g_service_mu);
+  MutexLock lock(g_service_mu);
   g_service = service;
 }
 
 std::string CurrentHealthJson() {
-  std::lock_guard<std::mutex> lock(g_service_mu);
+  MutexLock lock(g_service_mu);
   if (g_service == nullptr) {
     return "{\"status\": \"idle\", \"detail\": \"no service running\"}\n";
   }
@@ -102,7 +102,8 @@ std::vector<EdgeUpdate> MakeCyclicStream(const BipartiteGraph& seed,
     if (!live.empty() && rng.NextBool(0.5)) {
       const std::size_t pick = rng.Below(live.size());
       const auto [u, l] = live[pick];
-      sim.DeleteEdge(sim.FindEdge(u, sim.NumUpper() + l));
+      // Cannot fail: (u, l) was drawn from the live-edge set just above.
+      (void)sim.DeleteEdge(sim.FindEdge(u, sim.NumUpper() + l));
       ops.push_back({EdgeUpdate::Kind::kDelete, u, l});
       live[pick] = live.back();
       live.pop_back();

@@ -1,0 +1,25 @@
+// Thread-safety-analysis negative control (configure-time try_compile):
+// this file accesses a GUARDED_BY field WITHOUT holding its mutex and must
+// therefore FAIL to compile under -Werror=thread-safety.  If it compiles,
+// the analysis is silently off (wrong flags, broken annotations) and the
+// whole compile-time locking proof is void — the configure step aborts.
+
+#include "util/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int UnlockedRead() { return value_; }  // BUG on purpose: mu_ not held
+
+ private:
+  bitruss::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.UnlockedRead();
+}

@@ -1,0 +1,33 @@
+// Thread-safety-analysis positive control (configure-time try_compile):
+// correctly-locked code must compile cleanly under -Werror=thread-safety.
+// If this fails, the toolchain or util/sync.h is broken — not the repo's
+// locking discipline.  Paired with tsa_negative_check.cc.
+
+#include "util/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    bitruss::MutexLock lock(mu_);
+    value_ = v;
+  }
+
+  int Get() {
+    bitruss::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  bitruss::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(42);
+  return g.Get() == 42 ? 0 : 1;
+}

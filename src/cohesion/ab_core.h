@@ -73,7 +73,8 @@ struct ABCorePruneResult {
 /// (kInvalidArgument otherwise — a 0 threshold prunes nothing on that side
 /// and callers asking for it are holding the API wrong).  An edgeless g is
 /// valid and yields an empty, zero-pruned result.
-StatusOr<ABCorePruneResult> PruneToABCore(const BipartiteGraph& g,
+[[nodiscard]] StatusOr<ABCorePruneResult> PruneToABCore(
+    const BipartiteGraph& g,
                                           VertexId alpha, VertexId beta);
 
 /// Decompose(g, options) behind an exact (2,2)-core pre-prune: runs the

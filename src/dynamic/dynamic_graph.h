@@ -124,14 +124,15 @@ class DynamicBipartiteGraph {
   /// kInvalidArgument for out-of-range endpoints, kAlreadyExists if the
   /// edge is present.  When `delta` is non-null it is cleared and filled
   /// with the update's support deltas (untouched on failure).
-  StatusOr<EdgeId> InsertEdge(VertexId upper_local, VertexId lower_local,
+  [[nodiscard]] StatusOr<EdgeId> InsertEdge(VertexId upper_local,
+                                            VertexId lower_local,
                               UpdateDelta* delta = nullptr);
 
   /// Deletes the edge in slot `e`, updating the supports of every edge
   /// that loses a butterfly.  kNotFound if `e` is out of range or free.
   /// When `delta` is non-null it is cleared and filled with the update's
   /// support deltas (untouched on failure).
-  Status DeleteEdge(EdgeId e, UpdateDelta* delta = nullptr);
+  [[nodiscard]] Status DeleteEdge(EdgeId e, UpdateDelta* delta = nullptr);
 
   bool IsLive(EdgeId e) const {
     return e < slots_.size() && slots_[e].upper != kInvalidVertex;

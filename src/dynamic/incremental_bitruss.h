@@ -116,7 +116,7 @@ class IncrementalBitruss {
   }
   /// Phi with an explicit contract: kInvalidArgument for a slot id outside
   /// [0, Graph().NumSlots()), kNotFound for a free (deleted) slot.
-  StatusOr<SupportT> CheckedPhi(EdgeId slot) const {
+  [[nodiscard]] StatusOr<SupportT> CheckedPhi(EdgeId slot) const {
     if (slot >= phi_.size()) {
       return InvalidArgumentError("slot id out of range");
     }
@@ -128,8 +128,9 @@ class IncrementalBitruss {
 
   /// Graph mutation with exact phi repair.  Status contracts match
   /// DynamicBipartiteGraph; failed updates change nothing.
-  StatusOr<EdgeId> InsertEdge(VertexId upper_local, VertexId lower_local);
-  Status DeleteEdge(EdgeId slot);
+  [[nodiscard]] StatusOr<EdgeId> InsertEdge(VertexId upper_local,
+                                            VertexId lower_local);
+  [[nodiscard]] Status DeleteEdge(EdgeId slot);
 
   /// Compacts the underlying slot table (DynamicBipartiteGraph::
   /// CompactSlots) and remaps the maintained phi.  Returns the old-slot ->

@@ -60,11 +60,12 @@ AdminServer::AdminServer(AdminServerOptions options) : options_(options) {}
 AdminServer::~AdminServer() { Stop(); }
 
 void AdminServer::Handle(const std::string& path, Handler handler) {
-  if (started_) return;
+  MutexLock lock(mu_);
   handlers_[path] = std::move(handler);
 }
 
 Status AdminServer::Start() {
+  MutexLock lock(mu_);
   if (started_) {
     return FailedPreconditionError("AdminServer already started");
   }
@@ -102,29 +103,41 @@ Status AdminServer::Start() {
   port_.store(ntohs(bound.sin_port), std::memory_order_release);
   stopping_.store(false, std::memory_order_release);
   started_ = true;
-  listener_ = std::thread(&AdminServer::ListenLoop, this);
+  // The fd travels by value: ListenLoop never touches the guarded
+  // listen_fd_ member, and Stop() joins the thread before closing it.
+  listener_ = std::thread(&AdminServer::ListenLoop, this, fd);
   return OkStatus();
 }
 
 void AdminServer::Stop() {
-  if (!started_) return;
-  stopping_.store(true, std::memory_order_release);
-  if (listener_.joinable()) listener_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // Join outside the lock: the listener's ServeConnection takes mu_ to
+  // look up handlers, so joining under mu_ could deadlock.
+  std::thread to_join;
+  {
+    MutexLock lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    stopping_.store(true, std::memory_order_release);
+    to_join = std::move(listener_);
   }
-  started_ = false;
+  if (to_join.joinable()) to_join.join();
+  {
+    MutexLock lock(mu_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
   port_.store(0, std::memory_order_release);
 }
 
-void AdminServer::ListenLoop() {
+void AdminServer::ListenLoop(int listen_fd) {
   while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
+    pollfd pfd{listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kAcceptPollMs);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = ::accept(listen_fd, nullptr, nullptr);
     if (client < 0) continue;
     ServeConnection(client);
     ::close(client);
@@ -162,12 +175,20 @@ void AdminServer::ServeConnection(int client_fd) {
     std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
     const std::size_t query = path.find('?');
     if (query != std::string::npos) path.resize(query);
-    const auto it = handlers_.find(path);
-    if (it == handlers_.end()) {
+    // Copy the handler out under the lock, invoke it unlocked: handlers
+    // may take their own time (snapshot formatting) and must not hold up
+    // concurrent Handle() registrations.
+    Handler handler;
+    {
+      MutexLock lock(mu_);
+      const auto it = handlers_.find(path);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (!handler) {
       response = {404, "text/plain; charset=utf-8",
                   "no handler for " + path + "\n"};
     } else {
-      response = it->second();
+      response = handler();
     }
   }
 

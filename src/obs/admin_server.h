@@ -34,6 +34,7 @@
 #include <thread>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace bitruss::obs {
 
@@ -68,17 +69,20 @@ class AdminServer {
   ~AdminServer();
 
   /// Registers `handler` for exact-match `path` (query strings are
-  /// stripped before matching).  Must be called before Start(); later
-  /// registrations are rejected silently rather than racing the listener.
+  /// stripped before matching).  Thread-safe; may be called before or
+  /// after Start() (the listener copies the handler under the lock per
+  /// request, so registration never races a dispatch).
   void Handle(const std::string& path, Handler handler);
 
   /// Binds, listens, and starts the listener thread.  kInternal on any
   /// socket-layer failure (the error message carries errno); calling
   /// Start() twice returns kFailedPrecondition.
-  Status Start();
+  [[nodiscard]] Status Start();
 
-  /// Stops the listener and joins its thread; idempotent.  In-flight
-  /// requests finish first (one request is at most one handler call).
+  /// Stops the listener and joins its thread; idempotent, but Start/Stop
+  /// lifecycle calls must be serialized by the caller (concurrent Stop()s
+  /// would race the join).  In-flight requests finish first (one request
+  /// is at most one handler call).
   void Stop();
 
   /// The bound port (resolved ephemeral port included); 0 before Start().
@@ -90,21 +94,36 @@ class AdminServer {
   }
 
  private:
-  void ListenLoop();
+  /// The listener thread's body.  Takes the listening fd BY VALUE so the
+  /// loop never reads the guarded listen_fd_ member; the fd stays valid
+  /// for the loop's whole life because Stop() joins before closing it.
+  void ListenLoop(int listen_fd);
   void ServeConnection(int client_fd);
 
-  AdminServerOptions options_;
-  std::map<std::string, Handler> handlers_;
+  AdminServerOptions options_;  // set at construction, const thereafter
+
+  mutable Mutex mu_;
+  std::map<std::string, Handler> handlers_ GUARDED_BY(mu_);
+  bool started_ GUARDED_BY(mu_) = false;
+  int listen_fd_ GUARDED_BY(mu_) = -1;
+  // Started by Start() and moved out (then joined) by exactly one Stop()
+  // caller, both under mu_; the join itself runs unlocked.
+  std::thread listener_ GUARDED_BY(mu_);
+
+  // Ordering: release-stored by Start()/Stop(), acquire-loaded by any
+  // thread reading the bound port.
   std::atomic<int> port_{0};
+  // Ordering: acq_rel increment per answered request, acquire load in the
+  // accessor (a monotonic tally, ordered so tests see served responses).
   std::atomic<std::uint64_t> requests_served_{0};
+  // Ordering: release-stored by Stop(), acquire-polled by the listener
+  // between accepts — the one flag read outside mu_ on the listener's
+  // hot loop.
   std::atomic<bool> stopping_{false};
-  bool started_ = false;
-  int listen_fd_ = -1;
-  std::thread listener_;
 };
 
-/// Wires the standard observability endpoints onto `server` (call before
-/// Start()):
+/// Wires the standard observability endpoints onto `server` (any time —
+/// registration is safe before or after Start()):
 ///   /metrics       Prometheus text exposition of `registry`
 ///   /metrics.json  ExportJson of the same snapshot
 ///   /tracez        TraceRecorder::ToJson dump (404 when `trace` is null)

@@ -52,10 +52,10 @@ EventLog::EventLog(const std::string& path, EventLogOptions options)
 
 EventLog::~EventLog() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (sink_thread_.joinable()) sink_thread_.join();
   if (sink_ != nullptr) {
     std::fflush(sink_);
@@ -88,7 +88,7 @@ void EventLog::Emit(const std::string& event,
   line += "}\n";
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (options_.max_events_per_second > 0) {
       const auto now = std::chrono::steady_clock::now();
       tokens_ += std::chrono::duration<double>(now - last_refill_).count() *
@@ -108,12 +108,14 @@ void EventLog::Emit(const std::string& event,
     }
     queue_.push_back(std::move(line));
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 }
 
 void EventLog::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  flushed_cv_.wait(lock, [&] { return queue_.empty() && !sink_busy_; });
+  MutexLock lock(mu_);
+  // Explicit predicate loop (not a wait-lambda) so the guarded reads are
+  // checked against mu_ in this function's capability set.
+  while (!(queue_.empty() && !sink_busy_)) flushed_cv_.Wait(lock);
   if (sink_ != nullptr) std::fflush(sink_);
 }
 
@@ -121,8 +123,8 @@ void EventLog::SinkLoop() {
   std::vector<std::string> batch;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(lock);
       if (queue_.empty() && stopping_) return;
       batch.assign(std::make_move_iterator(queue_.begin()),
                    std::make_move_iterator(queue_.end()));
@@ -136,10 +138,10 @@ void EventLog::SinkLoop() {
     std::fflush(sink_);
     batch.clear();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       sink_busy_ = false;
     }
-    flushed_cv_.notify_all();
+    flushed_cv_.NotifyAll();
   }
 }
 

@@ -28,14 +28,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <initializer_list>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "util/sync.h"
 
 namespace bitruss::obs {
 
@@ -100,22 +100,29 @@ class EventLog {
  private:
   void SinkLoop();
 
+  // Set in the constructors before the sink thread starts, constant
+  // afterwards — no guard needed (the thread creation publishes them).
   EventLogOptions options_;
   std::FILE* sink_;       // null: drop-only mode
   bool owns_sink_ = false;
 
+  // Ordering: acq_rel increments paired with acquire loads in the
+  // accessors, so a thread that observed an event's side effects also
+  // observes it counted.
   std::atomic<std::uint64_t> emitted_{0};
   std::atomic<std::uint64_t> dropped_{0};
 
-  std::mutex mu_;
-  std::condition_variable queue_cv_;    // sink waits for work/stop
-  std::condition_variable flushed_cv_;  // Flush waits for quiescence
-  std::deque<std::string> queue_;
-  double tokens_;
-  std::chrono::steady_clock::time_point last_refill_;
-  bool stopping_ = false;
-  bool sink_busy_ = false;
+  Mutex mu_;
+  CondVar queue_cv_;    // sink waits for work/stop
+  CondVar flushed_cv_;  // Flush waits for quiescence
+  std::deque<std::string> queue_ GUARDED_BY(mu_);
+  double tokens_ GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point last_refill_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  bool sink_busy_ GUARDED_BY(mu_) = false;
 
+  // Started last in the constructor (unguarded writes there are safe: the
+  // object is not yet shared), joined only by the destructor.
   std::thread sink_thread_;
 };
 

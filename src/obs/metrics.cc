@@ -191,14 +191,14 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CounterFamily& family = counters_[name];
   if (!family.owned) family.owned = std::make_unique<Counter>();
   return family.owned.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Gauge>& gauge = gauges_[name];
   if (!gauge) gauge = std::make_unique<Gauge>();
   return gauge.get();
@@ -206,7 +206,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HistogramFamily& family = histograms_[name];
   if (!family.owned) family.owned = std::make_unique<Histogram>(bounds);
   return family.owned.get();
@@ -214,13 +214,13 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 void MetricsRegistry::RegisterCounter(const std::string& name,
                                       const Counter* counter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_[name].external.push_back(counter);
 }
 
 void MetricsRegistry::UnregisterCounter(const std::string& name,
                                         const Counter* counter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   if (it == counters_.end()) return;
   auto& external = it->second.external;
@@ -234,13 +234,13 @@ void MetricsRegistry::UnregisterCounter(const std::string& name,
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
                                         const Histogram* histogram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histograms_[name].external.push_back(histogram);
 }
 
 void MetricsRegistry::UnregisterHistogram(const std::string& name,
                                           const Histogram* histogram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it == histograms_.end()) return;
   auto& external = it->second.external;
@@ -255,14 +255,14 @@ void MetricsRegistry::UnregisterHistogram(const std::string& name,
 
 std::uint64_t MetricsRegistry::AddGaugeCallback(
     const std::string& name, std::function<std::int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t handle = next_handle_++;
   callbacks_.push_back({handle, name, std::move(fn)});
   return handle;
 }
 
 void MetricsRegistry::RemoveGaugeCallback(std::uint64_t handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   callbacks_.erase(std::remove_if(callbacks_.begin(), callbacks_.end(),
                                   [handle](const GaugeCallback& cb) {
                                     return cb.handle == handle;
@@ -272,7 +272,7 @@ void MetricsRegistry::RemoveGaugeCallback(std::uint64_t handle) {
 
 RegistrySnapshot MetricsRegistry::Snapshot() const {
   RegistrySnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
 
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, family] : counters_) {

@@ -39,10 +39,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace bitruss::obs {
 
@@ -63,6 +64,8 @@ class Counter {
   }
 
  private:
+  // Ordering: relaxed fetch_add on the hot path (Inc); IncOrdered uses
+  // acq_rel so the acquire load in Value() synchronizes-with it.
   std::atomic<std::uint64_t> value_{0};
 };
 
@@ -83,6 +86,8 @@ class Gauge {
   }
 
  private:
+  // Ordering: relaxed stores/RMWs on the update path (levels carry no
+  // publication semantics); acquire load in Value() for cross-thread reads.
   std::atomic<std::int64_t> value_{0};
 };
 
@@ -128,6 +133,8 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
+  // Ordering: all updates relaxed (counts are independent tallies, not
+  // publication flags); readers use acquire loads in the accessors.
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
@@ -252,12 +259,12 @@ class MetricsRegistry {
     std::function<std::int64_t()> fn;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, CounterFamily> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, HistogramFamily> histograms_;
-  std::vector<GaugeCallback> callbacks_;
-  std::uint64_t next_handle_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, CounterFamily> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, HistogramFamily> histograms_ GUARDED_BY(mu_);
+  std::vector<GaugeCallback> callbacks_ GUARDED_BY(mu_);
+  std::uint64_t next_handle_ GUARDED_BY(mu_) = 1;
 };
 
 /// Prometheus text exposition: `# TYPE` line per family, cumulative

@@ -47,12 +47,12 @@ double TraceRecorder::NowSeconds() const {
 }
 
 int TraceRecorder::BeginSpan() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return depth_++;
 }
 
 void TraceRecorder::EndSpan(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (depth_ > 0) --depth_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
@@ -65,7 +65,7 @@ void TraceRecorder::EndSpan(SpanRecord record) {
 }
 
 std::vector<SpanRecord> TraceRecorder::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (recorded_ <= capacity_) return ring_;
   std::vector<SpanRecord> ordered;
   ordered.reserve(capacity_);
@@ -76,17 +76,17 @@ std::vector<SpanRecord> TraceRecorder::Events() const {
 }
 
 std::uint64_t TraceRecorder::RecordedSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 
 std::uint64_t TraceRecorder::DroppedSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   recorded_ = 0;
   depth_ = 0;

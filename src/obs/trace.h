@@ -29,10 +29,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace bitruss::obs {
 
@@ -77,10 +78,10 @@ class TraceRecorder {
  private:
   const std::size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;
-  std::uint64_t recorded_ = 0;
-  int depth_ = 0;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> ring_ GUARDED_BY(mu_);
+  std::uint64_t recorded_ GUARDED_BY(mu_) = 0;
+  int depth_ GUARDED_BY(mu_) = 0;
 };
 
 /// RAII phase scope.  A null recorder makes every operation a no-op, so

@@ -147,7 +147,7 @@ Status BitrussService::Submit(const EdgeUpdate& update) {
     return InvalidArgumentError("endpoint out of range");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       return UnavailableError("BitrussService is shut down");
     }
@@ -160,7 +160,7 @@ Status BitrussService::Submit(const EdgeUpdate& update) {
       queue_depth_.Set(depth);
       queue_depth_peak_.MaxWith(depth);
       submitted_.IncOrdered();
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
       return OkStatus();
     }
   }
@@ -175,35 +175,38 @@ Status BitrussService::Submit(const EdgeUpdate& update) {
 }
 
 Status BitrussService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [&] {
-    if (stopping_ && !drain_on_stop_) return true;  // reported below
+  MutexLock lock(mu_);
+  // Explicit predicate loop (not a wait-lambda) so the guarded reads are
+  // checked against mu_ in this function's capability set.
+  for (;;) {
+    if (stopping_ && !drain_on_stop_) {
+      return UnavailableError("shut down without draining");
+    }
     const std::uint64_t applied = applied_.Value();
-    return queue_.empty() && applied == submitted_.Value() &&
-           published_applied_.load(std::memory_order_acquire) == applied;
-  });
-  if (stopping_ && !drain_on_stop_) {
-    return UnavailableError("shut down without draining");
+    if (queue_.empty() && applied == submitted_.Value() &&
+        published_applied_.load(std::memory_order_acquire) == applied) {
+      return OkStatus();
+    }
+    drained_cv_.Wait(lock);
   }
-  return OkStatus();
 }
 
 void BitrussService::Shutdown(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!stopping_) {
       stopping_ = true;
       drain_on_stop_ = drain;
     }
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   {
     // Exactly one caller joins; Shutdown may race with itself and the
     // destructor.
-    std::lock_guard<std::mutex> join_lock(join_mu_);
+    MutexLock join_lock(join_mu_);
     if (writer_.joinable()) writer_.join();
   }
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
 }
 
 std::shared_ptr<const PhiSnapshot> BitrussService::Snapshot() const {
@@ -246,7 +249,7 @@ std::vector<std::pair<SupportT, std::uint64_t>> BitrussService::PhiHistogram()
 }
 
 std::uint64_t BitrussService::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -303,18 +306,18 @@ BitrussServiceStats BitrussService::Stats() const {
 
 void BitrussService::Pause() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     paused_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void BitrussService::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     paused_ = false;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void BitrussService::ApplyUpdate(const QueuedUpdate& queued) {
@@ -434,16 +437,20 @@ void BitrussService::WriterLoop() {
     bool stop = false;
     bool drain = true;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      const auto ready = [&] {
-        return stopping_ || (!paused_ && !queue_.empty());
-      };
+      MutexLock lock(mu_);
       if (timed && applied_since_publish_ > 0) {
         // Unpublished work exists: wake by the publication deadline even
         // if no new update arrives.
-        queue_cv_.wait_until(lock, last_publish + interval, ready);
+        const Clock::time_point deadline = last_publish + interval;
+        while (!(stopping_ || (!paused_ && !queue_.empty()))) {
+          if (queue_cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+            break;
+          }
+        }
       } else {
-        queue_cv_.wait(lock, ready);
+        while (!(stopping_ || (!paused_ && !queue_.empty()))) {
+          queue_cv_.Wait(lock);
+        }
       }
       stop = stopping_;
       drain = drain_on_stop_;
@@ -480,7 +487,7 @@ void BitrussService::WriterLoop() {
 
     bool queue_empty;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_empty = queue_.empty();
     }
     if (applied_since_publish_ > 0) {
@@ -493,13 +500,13 @@ void BitrussService::WriterLoop() {
       if (queue_empty || count_due || time_due) {
         PublishSnapshot();
         last_publish = Clock::now();
-        drained_cv_.notify_all();
+        drained_cv_.NotifyAll();
       }
     }
 
     if (stop && queue_empty) {
       if (applied_since_publish_ > 0) PublishSnapshot();
-      drained_cv_.notify_all();
+      drained_cv_.NotifyAll();
       return;
     }
   }

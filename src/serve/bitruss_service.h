@@ -45,11 +45,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -61,6 +59,7 @@
 #include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace bitruss {
 
@@ -178,18 +177,20 @@ class BitrussService {
   /// queue is full (retry later), kUnavailable after Shutdown,
   /// kInvalidArgument for out-of-range endpoints (checked here so the
   /// producer learns immediately, not via a counter).
-  Status Submit(const EdgeUpdate& update);
-  Status SubmitInsert(VertexId upper_local, VertexId lower_local) {
+  [[nodiscard]] Status Submit(const EdgeUpdate& update);
+  [[nodiscard]] Status SubmitInsert(VertexId upper_local,
+                                    VertexId lower_local) {
     return Submit({EdgeUpdate::Kind::kInsert, upper_local, lower_local});
   }
-  Status SubmitDelete(VertexId upper_local, VertexId lower_local) {
+  [[nodiscard]] Status SubmitDelete(VertexId upper_local,
+                                    VertexId lower_local) {
     return Submit({EdgeUpdate::Kind::kDelete, upper_local, lower_local});
   }
 
   /// Blocks until every update submitted before the call has been applied
   /// AND a snapshot covering all of them is published.  kUnavailable if
   /// the service was shut down without draining first.
-  Status Drain();
+  [[nodiscard]] Status Drain();
 
   /// Stops intake (Submit fails with kUnavailable from now on); with
   /// `drain` applies + publishes everything queued, otherwise discards the
@@ -277,6 +278,9 @@ class BitrussService {
   // std::atomic_load / std::atomic_store (acquire/release): C++17's
   // spelling of atomic<shared_ptr>.
   std::shared_ptr<const PhiSnapshot> snapshot_;
+  /// Updates covered by the published snapshot; release-stored after the
+  /// snapshot store, acquire-loaded by Drain/StalenessUpdates so seeing
+  /// the count implies seeing the covering snapshot.
   std::atomic<std::uint64_t> published_applied_{0};
 
   // Counters (see BitrussServiceStats), doubling as the service's
@@ -305,17 +309,18 @@ class BitrussService {
   mutable obs::Histogram read_histogram_seconds_;
   std::vector<std::uint64_t> gauge_callback_handles_;
   /// Steady-clock nanosecond stamp of the last publication, for
-  /// SnapshotAgeSeconds (atomic: read from any thread).
+  /// SnapshotAgeSeconds: release-stored by the writer at publication,
+  /// acquire-loaded by any reader thread.
   std::atomic<std::int64_t> last_publish_ns_{0};
 
   // Ingest queue + writer control.
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;   // writer waits for work/stop
-  std::condition_variable drained_cv_;  // Drain() waits for quiescence
-  std::deque<QueuedUpdate> queue_;
-  bool stopping_ = false;
-  bool drain_on_stop_ = true;
-  bool paused_ = false;
+  mutable Mutex mu_;
+  CondVar queue_cv_;    // writer waits for work/stop
+  CondVar drained_cv_;  // Drain() waits for quiescence
+  std::deque<QueuedUpdate> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  bool drain_on_stop_ GUARDED_BY(mu_) = true;
+  bool paused_ GUARDED_BY(mu_) = false;
 
   // Writer-thread-local publication bookkeeping (no locking needed).
   std::uint64_t applied_since_publish_ = 0;
@@ -325,8 +330,10 @@ class BitrussService {
   /// cadence: the writer publishes at the latest when its queue drains).
   std::vector<std::chrono::steady_clock::time_point> pending_visibility_;
 
-  std::mutex join_mu_;  // serializes the writer join across Shutdown races
-  std::thread writer_;  // started last, joined by Shutdown
+  Mutex join_mu_;  // serializes the writer join across Shutdown races
+  /// Started last in the constructor (unguarded there: the object is not
+  /// yet shared), joined by exactly one Shutdown caller under join_mu_.
+  std::thread writer_ GUARDED_BY(join_mu_);
 };
 
 }  // namespace bitruss

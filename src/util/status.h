@@ -49,7 +49,11 @@ inline const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
-class Status {
+/// [[nodiscard]] at class scope: EVERY function returning a Status warns
+/// when the result is dropped (compiled with -Werror in CI).  A call site
+/// that truly cannot fail or whose failure is intentionally ignored says
+/// so with an explicit `(void)` cast plus a comment.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -105,7 +109,7 @@ inline Status InternalError(std::string message) {
 /// ok() on an error throws std::logic_error — a caller bug, not a data
 /// error, matching the library's exceptions-for-contract-violations rule.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
     if (status_.ok()) {

@@ -1,0 +1,170 @@
+// Annotated synchronization primitives: the ONE place this repo touches
+// std::mutex / std::condition_variable directly (tools/lint.py enforces
+// this).  Everything else locks through these wrappers so Clang's
+// -Wthread-safety analysis can prove the repo's locking discipline at
+// compile time: which mutex guards which field (GUARDED_BY), which
+// methods demand a held lock (REQUIRES), and which calls acquire/release
+// (ACQUIRE/RELEASE).  Off Clang the macros expand to nothing and the
+// wrappers are zero-cost veneers over the std primitives, so GCC builds
+// are unchanged and the annotations cost nothing at runtime anywhere.
+//
+// Annotation conventions used across the repo:
+//
+//   * Every field whose access is serialized by a mutex carries
+//     GUARDED_BY(mu_) at its declaration — the declaration is the
+//     documentation.  Fields owned by exactly one thread (e.g. the
+//     serving writer's publication bookkeeping) are NOT guarded; they
+//     carry a comment naming the owning thread instead, because a lock
+//     annotation would misstate the design.
+//   * Condition-variable predicates are written as explicit
+//     `while (!cond) cv.Wait(lock)` loops, never as predicate lambdas:
+//     the analysis checks the enclosing function's capability set, so
+//     the guarded reads in `cond` are verified in place.  (A lambda body
+//     is analyzed as a separate function that holds nothing.)
+//   * NO_THREAD_SAFETY_ANALYSIS is an escape hatch of last resort; any
+//     use must carry an adjacent comment justifying why the analysis
+//     cannot see the invariant (the static-analysis CI job greps for
+//     naked uses).
+//   * Lock() / Unlock() exist for the rare non-scoped pattern; prefer
+//     MutexLock so the RELEASE is tied to scope exit.
+
+#ifndef BITRUSS_UTIL_SYNC_H_
+#define BITRUSS_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+// -- Clang thread-safety annotation macros ----------------------------------
+// GNU-style spelling (not [[clang::...]]) so one macro works on every
+// declaration position Clang accepts; empty on other compilers.
+#if defined(__clang__)
+#define BITRUSS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BITRUSS_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define CAPABILITY(x) BITRUSS_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY BITRUSS_THREAD_ANNOTATION(scoped_lockable)
+/// Field is only read/written with the named mutex held.
+#define GUARDED_BY(x) BITRUSS_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee (not the pointer) is guarded by the named mutex.
+#define PT_GUARDED_BY(x) BITRUSS_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Caller must hold the named mutex(es) to call this function.
+#define REQUIRES(...) \
+  BITRUSS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the named mutex(es) and does not release them.
+#define ACQUIRE(...) \
+  BITRUSS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the named mutex(es).
+#define RELEASE(...) \
+  BITRUSS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the mutex iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  BITRUSS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Caller must NOT hold the named mutex(es) (deadlock prevention).
+#define EXCLUDES(...) BITRUSS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Return value is a reference to the named capability.
+#define RETURN_CAPABILITY(x) BITRUSS_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: function body is not analyzed.  Every use needs an
+/// adjacent justification comment (enforced by CI).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BITRUSS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bitruss {
+
+class CondVar;
+
+/// std::mutex with the `capability` annotation, so fields can be declared
+/// GUARDED_BY(mu_) and methods REQUIRES(mu_).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a Mutex (the annotated std::lock_guard /
+/// std::unique_lock).  CondVar waits through the held MutexLock; the lock
+/// is released for the duration of the wait and reacquired before Wait
+/// returns, exactly like std::condition_variable with std::unique_lock.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  // Explicit body: the RELEASE annotation cannot sit on a defaulted
+  // destructor; the member unique_lock does the actual unlock.
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over MutexLock.  Spurious wakeups happen, as
+/// with the std primitive: always wait in a `while (!cond)` loop (written
+/// out inline — see the header comment — or via Await/AwaitUntil when the
+/// predicate touches no guarded state).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Atomically releases `lock`, blocks until notified (or spuriously
+  /// woken), and reacquires `lock` before returning.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Wait bounded by an absolute deadline; std::cv_status::timeout when
+  /// the deadline passed before a notification.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  /// Blocks until pred() is true; pred runs with the lock held.  NOTE:
+  /// the analysis checks a lambda body with an EMPTY capability set, so
+  /// predicates over GUARDED_BY fields belong in an explicit
+  /// `while (!cond) Wait(lock)` loop at the call site, not here.
+  template <typename Predicate>
+  void Await(MutexLock& lock, Predicate pred) {
+    while (!pred()) Wait(lock);
+  }
+
+  /// Await bounded by an absolute deadline; returns pred()'s value at
+  /// exit (false = timed out with the predicate still unsatisfied).
+  template <typename Predicate, typename Clock, typename Duration>
+  bool AwaitUntil(MutexLock& lock,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate pred) {
+    while (!pred()) {
+      if (WaitUntil(lock, deadline) == std::cv_status::timeout) return pred();
+    }
+    return true;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bitruss
+
+#endif  // BITRUSS_UTIL_SYNC_H_

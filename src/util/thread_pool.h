@@ -24,13 +24,13 @@
 #define BITRUSS_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace bitruss {
 
@@ -74,10 +74,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (std::thread& worker : workers_) worker.join();
   }
 
@@ -141,39 +141,40 @@ class ThreadPool {
   // caller runs 0) and waits for all of them.
   void Dispatch(const std::function<void(unsigned)>& job) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       job_ = &job;
       ++generation_;
       pending_ = static_cast<unsigned>(workers_.size());
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     job(0);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mu_);
+    while (pending_ != 0) done_cv_.Wait(lock);
     job_ = nullptr;
   }
 
   void WorkerLoop() {
-    const unsigned thread_index = [this] {
-      std::lock_guard<std::mutex> lock(mu_);
-      return ++spawned_;
-    }();
+    unsigned thread_index = 0;
+    {
+      MutexLock lock(mu_);
+      thread_index = ++spawned_;
+    }
     std::uint64_t seen_generation = 0;
     for (;;) {
       const std::function<void(unsigned)>* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [&] {
-          return shutdown_ || generation_ != seen_generation;
-        });
+        MutexLock lock(mu_);
+        while (!shutdown_ && generation_ == seen_generation) {
+          work_cv_.Wait(lock);
+        }
         if (shutdown_) return;
         seen_generation = generation_;
         job = job_;
       }
       (*job)(thread_index);
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_ == 0) done_cv_.notify_all();
+        MutexLock lock(mu_);
+        if (--pending_ == 0) done_cv_.NotifyAll();
       }
     }
   }
@@ -181,14 +182,14 @@ class ThreadPool {
   const unsigned num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  unsigned pending_ = 0;
-  unsigned spawned_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(unsigned)>* job_ GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+  unsigned pending_ GUARDED_BY(mu_) = 0;
+  unsigned spawned_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bitruss

@@ -310,14 +310,17 @@ TEST(AdminServer, LifecycleIsStrictAboutStartAndIdempotentAboutStop) {
   server.Stop();
 }
 
-// Registrations after Start() are ignored rather than racing the listener.
-TEST(AdminServer, LateHandlerRegistrationIsIgnored) {
+// Registrations after Start() are safe (the listener copies the handler
+// under the lock per request) and take effect immediately.
+TEST(AdminServer, LateHandlerRegistrationServesImmediately) {
   AdminServer server;
   ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(Get(server.Port(), "/late").status, 404);
   server.Handle("/late", [] { return AdminResponse{200, "text/plain", "x"}; });
   const HttpReply reply = Get(server.Port(), "/late");
   ASSERT_TRUE(reply.ok);
-  EXPECT_EQ(reply.status, 404);
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.body, "x");
   server.Stop();
 }
 
