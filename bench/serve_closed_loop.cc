@@ -21,13 +21,25 @@
 // dataset (lock-free snapshot reads should not lose throughput as readers
 // are added; gaining requires spare cores).
 //
-// Live observability flags (both optional):
+// Live observability flags (all optional):
 //   --admin-port=N   serve /metrics, /metrics.json, /tracez, /healthz on
 //                    127.0.0.1:N for the duration of the run (N=0 picks an
 //                    ephemeral port; the chosen port is printed)
 //   --events=PATH    write the serving lifecycle event log (publish,
 //                    compaction, fallback_recompute, backpressure_reject,
 //                    slow_apply) as JSON lines to PATH
+//   --wal=DIR        additionally run the durability comparison: per
+//                    dataset, a memory-only row vs a WAL-ahead-logged row
+//                    (same load, `closed_loop_durable` table — the durable
+//                    cost is the applied/s gap), then recover the on-disk
+//                    state and report the replay rate.  DIR is wiped and
+//                    reused per row.
+//   --fsync=MODE     fsync policy for --wal rows: record | publish | os
+//                    (default publish; see persist::FsyncPolicy)
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -45,6 +57,7 @@
 #include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "persist/wal.h"
 #include "serve/bitruss_service.h"
 #include "util/random.h"
 #include "util/sync.h"
@@ -134,7 +147,40 @@ struct RowResult {
   double visibility_p50_ms = 0;
   double visibility_p99_ms = 0;
   std::uint64_t snapshots = 0;
+  // Durability instruments (zero for memory-only rows): this row's deltas
+  // of the process-wide `bitruss_persist_*` counter families.
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::int64_t fsyncs = 0;
 };
+
+// Durability setup of one bench row; null config = memory-only serving.
+struct DurableConfig {
+  std::string dir;
+  persist::FsyncPolicy policy = persist::FsyncPolicy::kEveryPublish;
+  std::uint64_t snapshot_every = 0;  ///< 0: WAL only, snapshot at drain
+  bool drain = true;                 ///< false leaves the WAL for recovery
+};
+
+// Empties (creating if needed) the durability directory so a fresh
+// service can open it — the bench reuses one DIR across rows.
+void WipePersistDir(const std::string& dir) {
+  ::mkdir(dir.c_str(), 0777);
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    ::unlink((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+}
+
+std::uint64_t CounterFamilyValue(const obs::RegistrySnapshot& snapshot,
+                                 const std::string& name) {
+  const obs::CounterSample* sample = snapshot.FindCounter(name);
+  return sample == nullptr ? 0 : sample->value;
+}
 
 // The row's share of the process-lifetime visibility-latency family:
 // sample before, run, sample after, subtract.
@@ -149,14 +195,23 @@ obs::HistogramSample VisibilitySample() {
 RowResult RunClosedLoop(const BipartiteGraph& seed,
                         const std::vector<EdgeUpdate>& ops,
                         unsigned num_readers, double seconds,
-                        obs::EventLog* event_log) {
+                        obs::EventLog* event_log,
+                        const DurableConfig* durable = nullptr) {
   const obs::HistogramSample visibility_before = VisibilitySample();
+  const obs::RegistrySnapshot persist_before =
+      obs::MetricsRegistry::Default().Snapshot();
 
   BitrussServiceOptions options;
   options.queue_capacity = 4096;
   options.publish_every_updates = 32;
   options.publish_interval_ms = 5.0;
   options.event_log = event_log;
+  if (durable != nullptr) {
+    WipePersistDir(durable->dir);
+    options.persist.dir = durable->dir;
+    options.persist.fsync_policy = durable->policy;
+    options.persist.snapshot_every_updates = durable->snapshot_every;
+  }
   BitrussService service(seed, options);
   SetCurrentService(&service);
 
@@ -225,7 +280,11 @@ RowResult RunClosedLoop(const BipartiteGraph& seed,
   ingest.join();
   const std::uint64_t applied = service.AppliedUpdates();
   const auto stats = service.Stats();
-  service.Shutdown(/*drain=*/true);
+  // The fsync gauge is a live callback on the service's WalWriter, so it
+  // must be sampled before the service goes away.
+  const obs::RegistrySnapshot persist_after =
+      obs::MetricsRegistry::Default().Snapshot();
+  service.Shutdown(durable == nullptr || durable->drain);
   SetCurrentService(nullptr);
 
   // The writer is joined and the row's instruments are still registered:
@@ -245,6 +304,17 @@ RowResult RunClosedLoop(const BipartiteGraph& seed,
   row.visibility_p50_ms = visibility.Quantile(0.50) * 1e3;
   row.visibility_p99_ms = visibility.Quantile(0.99) * 1e3;
   row.snapshots = stats.published_snapshots;
+  if (durable != nullptr) {
+    row.wal_records =
+        CounterFamilyValue(persist_after, "bitruss_persist_wal_records_total") -
+        CounterFamilyValue(persist_before, "bitruss_persist_wal_records_total");
+    row.wal_bytes =
+        CounterFamilyValue(persist_after, "bitruss_persist_wal_bytes_total") -
+        CounterFamilyValue(persist_before, "bitruss_persist_wal_bytes_total");
+    const obs::GaugeSample* fsyncs =
+        persist_after.FindGauge("bitruss_persist_wal_fsyncs");
+    row.fsyncs = fsyncs == nullptr ? 0 : fsyncs->value;
+  }
   return row;
 }
 
@@ -254,12 +324,29 @@ int main(int argc, char** argv) {
   ParseBenchArgs(argc, argv);
   int admin_port = -1;  // -1: no admin server
   std::string events_path;
+  std::string wal_dir;
+  persist::FsyncPolicy fsync_policy = persist::FsyncPolicy::kEveryPublish;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
       admin_port = std::atoi(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--events=", 9) == 0 &&
                argv[i][9] != '\0') {
       events_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--wal=", 6) == 0 && argv[i][6] != '\0') {
+      wal_dir = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--fsync=", 8) == 0) {
+      const std::string mode = argv[i] + 8;
+      if (mode == "record") {
+        fsync_policy = persist::FsyncPolicy::kEveryRecord;
+      } else if (mode == "publish") {
+        fsync_policy = persist::FsyncPolicy::kEveryPublish;
+      } else if (mode == "os") {
+        fsync_policy = persist::FsyncPolicy::kOsBuffered;
+      } else {
+        std::fprintf(stderr, "--fsync=%s: want record|publish|os\n",
+                     mode.c_str());
+        return 1;
+      }
     }
   }
 
@@ -327,6 +414,71 @@ int main(int argc, char** argv) {
     const double base = by_readers.at(1);
     std::printf("%s read QPS scaling 1->4 readers: %.2fx\n", name.c_str(),
                 base > 0 ? by_readers.at(4) / base : 0.0);
+  }
+
+  // Durable-vs-memory comparison (--wal): same closed loop at 2 readers,
+  // once in memory and once write-ahead logged under the chosen fsync
+  // policy — the applied/s gap is the price of the durability guarantee.
+  // The durable row shuts down WITHOUT draining and leaves its WAL behind,
+  // so recovery is then measured against real on-disk state.
+  if (!wal_dir.empty()) {
+    TablePrinter durable_table(
+        "closed_loop_durable",
+        {"Dataset", "mode", "applied/s", "read QPS", "vis p99 ms",
+         "WAL records", "WAL MB", "fsyncs"});
+    for (const char* name : {"Writer", "Github"}) {
+      const BipartiteGraph& g = BenchDataset(name);
+      const std::vector<EdgeUpdate> ops =
+          MakeCyclicStream(g, half, HashString64(name) ^ 0xc105edull);
+      const RowResult memory =
+          RunClosedLoop(g, ops, 2, seconds, event_log.get());
+      durable_table.AddRow(
+          {name, "memory", FormatDouble(memory.applied_per_second, 0),
+           FormatDouble(memory.read_qps, 0),
+           FormatDouble(memory.visibility_p99_ms, 3), "0", "0.00", "0"});
+
+      DurableConfig durable;
+      durable.dir = wal_dir;
+      durable.policy = fsync_policy;
+      durable.snapshot_every = 0;  // WAL carries the whole run
+      durable.drain = false;       // leave the log for the recovery drill
+      const RowResult logged =
+          RunClosedLoop(g, ops, 2, seconds, event_log.get(), &durable);
+      durable_table.AddRow(
+          {name, std::string("wal:") + persist::FsyncPolicyName(fsync_policy),
+           FormatDouble(logged.applied_per_second, 0),
+           FormatDouble(logged.read_qps, 0),
+           FormatDouble(logged.visibility_p99_ms, 3),
+           FormatCount(logged.wal_records),
+           FormatDouble(static_cast<double>(logged.wal_bytes) / 1048576.0, 2),
+           FormatCount(logged.fsyncs < 0 ? 0 : logged.fsyncs)});
+
+      // Recovery drill: rebuild the service from the WAL just written and
+      // report the replay rate (records/s through the incremental
+      // maintenance path).
+      BitrussServiceOptions recover_options;
+      recover_options.persist.dir = wal_dir;
+      recover_options.persist.fsync_policy = fsync_policy;
+      RecoveryStats rstats;
+      auto recovered_or = BitrussService::Recover(g, recover_options, &rstats);
+      if (!recovered_or.ok()) {
+        std::fprintf(stderr, "%s recovery: %s\n", name,
+                     recovered_or.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "%s recovery: %llu WAL records replayed in %.3f s (%.0f records/s, "
+          "%llu torn discarded)\n",
+          name, static_cast<unsigned long long>(rstats.wal_replayed),
+          rstats.seconds,
+          rstats.seconds > 0 ? static_cast<double>(rstats.wal_replayed) /
+                                   rstats.seconds
+                             : 0.0,
+          static_cast<unsigned long long>(rstats.torn_records_discarded));
+      recovered_or.value()->Shutdown(/*drain=*/true);
+      WipePersistDir(wal_dir);
+    }
+    durable_table.Print();
   }
 
   // Process-wide telemetry from the whole run (every service instance

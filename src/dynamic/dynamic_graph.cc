@@ -206,6 +206,90 @@ GraphSnapshot DynamicBipartiteGraph::Snapshot() const {
   return snapshot;
 }
 
+DynamicGraphState DynamicBipartiteGraph::ExportState() const {
+  DynamicGraphState state;
+  state.num_upper = num_upper_;
+  state.num_lower = num_lower_;
+  state.num_butterflies = num_butterflies_;
+  state.upper.reserve(slots_.size());
+  state.lower.reserve(slots_.size());
+  state.support.reserve(slots_.size());
+  for (const EdgeSlot& slot : slots_) {
+    state.upper.push_back(slot.upper);
+    state.lower.push_back(slot.lower);
+    state.support.push_back(slot.support);
+  }
+  state.free_slots = free_slots_;
+  return state;
+}
+
+StatusOr<DynamicBipartiteGraph> DynamicBipartiteGraph::FromState(
+    const DynamicGraphState& state) {
+  const std::size_t num_slots = state.upper.size();
+  if (state.lower.size() != num_slots || state.support.size() != num_slots) {
+    return DataLossError("graph state: slot arrays disagree in length");
+  }
+  if (static_cast<std::uint64_t>(state.num_upper) + state.num_lower >=
+      kInvalidVertex) {
+    return DataLossError("graph state: vertex counts overflow the id space");
+  }
+  DynamicBipartiteGraph graph;
+  graph.num_upper_ = state.num_upper;
+  graph.num_lower_ = state.num_lower;
+  graph.adj_.assign(graph.NumVertices(), {});
+  graph.slots_.resize(num_slots);
+  graph.edge_index_.reserve(num_slots);
+
+  std::vector<char> is_free(num_slots, 0);
+  std::uint64_t support_sum = 0;
+  EdgeId live = 0;
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    const VertexId u = state.upper[s];
+    const VertexId v = state.lower[s];
+    if (u == kInvalidVertex) {
+      if (v != kInvalidVertex || state.support[s] != 0) {
+        return DataLossError("graph state: malformed free slot");
+      }
+      is_free[s] = 1;
+      continue;  // slots_[s] default-constructed == free
+    }
+    if (u >= state.num_upper || v < state.num_upper ||
+        v >= state.num_upper + state.num_lower) {
+      return DataLossError("graph state: edge endpoint out of range");
+    }
+    if (!graph.edge_index_.emplace(PairKey(u, v), static_cast<EdgeId>(s))
+             .second) {
+      return DataLossError("graph state: duplicate edge");
+    }
+    graph.slots_[s] = {u, v, static_cast<std::uint32_t>(graph.adj_[u].size()),
+                       static_cast<std::uint32_t>(graph.adj_[v].size()),
+                       state.support[s]};
+    graph.adj_[u].push_back({v, static_cast<EdgeId>(s)});
+    graph.adj_[v].push_back({u, static_cast<EdgeId>(s)});
+    support_sum += state.support[s];
+    ++live;
+  }
+  // Every butterfly contributes +1 support to each of its four edges.
+  if (support_sum != 4 * state.num_butterflies) {
+    return DataLossError(
+        "graph state: support sum disagrees with butterfly count");
+  }
+  if (state.free_slots.size() != num_slots - live) {
+    return DataLossError("graph state: free-slot stack size mismatch");
+  }
+  std::vector<char> seen(num_slots, 0);
+  for (const EdgeId s : state.free_slots) {
+    if (s >= num_slots || is_free[s] == 0 || seen[s] != 0) {
+      return DataLossError("graph state: free-slot stack inconsistent");
+    }
+    seen[s] = 1;
+  }
+  graph.free_slots_ = state.free_slots;
+  graph.num_live_ = live;
+  graph.num_butterflies_ = state.num_butterflies;
+  return graph;
+}
+
 std::uint64_t DynamicBipartiteGraph::MemoryBytes() const {
   std::uint64_t adjacency = 0;
   for (const std::vector<Entry>& list : adj_) {

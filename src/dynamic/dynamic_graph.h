@@ -97,6 +97,28 @@ struct UpdateDelta {
   }
 };
 
+/// Full serializable image of a DynamicBipartiteGraph: the slot table, the
+/// free-slot stack IN PUSH ORDER, and the aggregate counters.  Produced by
+/// ExportState(), consumed by FromState(); the persistence layer stores it
+/// verbatim.  Preserving free-slot ORDER (not just membership) matters:
+/// the stack decides which slot the next insert reuses, so a restored
+/// graph assigns the same slot ids the original process would have —
+/// recovery stays slot-for-slot comparable with an oracle replay.
+struct DynamicGraphState {
+  VertexId num_upper = 0;
+  VertexId num_lower = 0;
+  std::uint64_t num_butterflies = 0;
+  /// Parallel per-slot arrays; upper[s] == kInvalidVertex marks slot s
+  /// free (lower is then kInvalidVertex and support 0).  Vertex ids are
+  /// GLOBAL (lower offset by num_upper), exactly as the slot table holds
+  /// them.
+  std::vector<VertexId> upper;
+  std::vector<VertexId> lower;
+  std::vector<SupportT> support;
+  /// Free-slot stack, bottom first; lists exactly the free slots.
+  std::vector<EdgeId> free_slots;
+};
+
 class DynamicBipartiteGraph {
  public:
   struct Entry {
@@ -155,6 +177,19 @@ class DynamicBipartiteGraph {
   /// Compacts the live edges to CSR; see GraphSnapshot.
   GraphSnapshot Snapshot() const;
 
+  /// Serializable image of the current state; see DynamicGraphState.
+  DynamicGraphState ExportState() const;
+
+  /// Rebuilds a graph from an exported image, revalidating every internal
+  /// invariant (endpoint ranges, duplicate edges, free-stack consistency,
+  /// support sum == 4 * butterflies).  kDataLoss on any violation: the
+  /// caller is recovery, where a malformed image IS corrupt persisted
+  /// state.  The rebuilt adjacency enumerates neighbors in slot order
+  /// (not the original insertion order), which is behaviorally equivalent
+  /// — supports and phi do not depend on enumeration order.
+  [[nodiscard]] static StatusOr<DynamicBipartiteGraph> FromState(
+      const DynamicGraphState& state);
+
   /// Compacts the slot table so NumSlots() == NumEdges() again: live slots
   /// are renumbered downward (relative order preserved), freed slots and
   /// their vector capacity are released.  Returns the old-slot -> new-slot
@@ -168,6 +203,8 @@ class DynamicBipartiteGraph {
   std::uint64_t MemoryBytes() const;
 
  private:
+  DynamicBipartiteGraph() = default;  // FromState fills everything in
+
   struct EdgeSlot {
     VertexId upper = kInvalidVertex;  ///< kInvalidVertex marks a free slot
     VertexId lower = kInvalidVertex;

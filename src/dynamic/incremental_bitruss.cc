@@ -1,6 +1,7 @@
 #include "dynamic/incremental_bitruss.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "butterfly/wedge_enumeration.h"
@@ -57,6 +58,20 @@ IncrementalBitruss::IncrementalBitruss(const BipartiteGraph& seed,
   for (EdgeId e = 0; e < snapshot.graph.NumEdges(); ++e) {
     phi_[snapshot.slot_of_edge[e]] = initial.phi[e];
   }
+  stamp_.assign(graph_.NumSlots(), 0);
+}
+
+IncrementalBitruss::IncrementalBitruss(DynamicBipartiteGraph graph,
+                                       std::vector<SupportT> phi,
+                                       IncrementalBitrussOptions options)
+    : options_(std::move(options)),
+      graph_(std::move(graph)),
+      phi_(std::move(phi)) {
+  if (phi_.size() != graph_.NumSlots()) {
+    throw std::invalid_argument(
+        "IncrementalBitruss: phi size does not match the slot table");
+  }
+  options_.decompose.deadline = Deadline();  // same rule as the seed ctor
   stamp_.assign(graph_.NumSlots(), 0);
 }
 

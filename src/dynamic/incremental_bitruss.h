@@ -97,6 +97,15 @@ class IncrementalBitruss {
   explicit IncrementalBitruss(const BipartiteGraph& seed,
                               IncrementalBitrussOptions options = {});
 
+  /// Restore constructor for recovery: adopts an already-maintained graph
+  /// and its phi (indexed by slot, size graph.NumSlots()) WITHOUT the
+  /// initial Decompose().  The caller vouches that phi is the exact
+  /// decomposition of `graph` — recovery loads both from one checksummed
+  /// snapshot, so they can only disagree if the writer was wrong, not
+  /// through bit rot.  Throws std::invalid_argument on a size mismatch.
+  IncrementalBitruss(DynamicBipartiteGraph graph, std::vector<SupportT> phi,
+                     IncrementalBitrussOptions options = {});
+
   /// Copying would silently fork the maintained phi (and duplicate the
   /// graph plus all repair scratch); pass by reference or move instead.
   IncrementalBitruss(const IncrementalBitruss&) = delete;

@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "obs/metrics.h"
@@ -17,14 +19,13 @@ namespace bitruss::obs {
 
 namespace {
 
-// Requests are one GET line plus headers we ignore; anything larger than
-// this is not a scrape and is answered 400 without reading further.
-constexpr std::size_t kMaxRequestBytes = 8192;
+using Clock = std::chrono::steady_clock;
+
 // Stop() latency bound: the listener re-checks the stop flag at least this
 // often while no connection arrives.
 constexpr int kAcceptPollMs = 50;
-// Per-connection I/O deadline; an admin port must not be wedgeable by a
-// client that connects and never writes (or never reads the response).
+// Per-poll I/O bound and the grace given to the response write once the
+// request deadline has already been spent reading the request.
 constexpr int kIoPollMs = 2000;
 
 const char* ReasonPhrase(int status) {
@@ -33,15 +34,32 @@ const char* ReasonPhrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
     default: return "Internal Server Error";
   }
 }
 
-bool SendAll(int fd, const std::string& data) {
+// Milliseconds to give the next poll(): the time left to `deadline`,
+// capped at kIoPollMs; <= 0 once the deadline has passed.
+int PollTimeoutMs(Clock::time_point deadline) {
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             deadline - Clock::now())
+                             .count();
+  return static_cast<int>(
+      std::min<long long>(remaining, static_cast<long long>(kIoPollMs)));
+}
+
+bool SendAll(int fd, const std::string& data, Clock::time_point deadline) {
   std::size_t sent = 0;
   while (sent < data.size()) {
+    const int wait = PollTimeoutMs(deadline);
+    if (wait <= 0) return false;
     pollfd pfd{fd, POLLOUT, 0};
-    if (::poll(&pfd, 1, kIoPollMs) <= 0) return false;
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready < 0) return false;
+    if (ready == 0) continue;  // deadline re-checked at the loop top
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
     if (n <= 0) {
@@ -145,13 +163,33 @@ void AdminServer::ListenLoop(int listen_fd) {
 }
 
 void AdminServer::ServeConnection(int client_fd) {
-  // Read until the end of the header block (we never accept bodies).
+  // Read until the end of the header block (we never accept bodies),
+  // bounded in BYTES (431 past max_request_bytes) and in TIME (408 once
+  // the whole-request deadline expires) — a trickling or oversized client
+  // gets a definite answer instead of wedging the listener.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options_.request_deadline_seconds));
   std::string request;
+  bool oversize = false;
+  bool timed_out = false;
   while (request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos &&
-         request.size() < kMaxRequestBytes) {
+         request.find("\n\n") == std::string::npos) {
+    if (request.size() >= options_.max_request_bytes) {
+      oversize = true;
+      break;
+    }
+    const int wait = PollTimeoutMs(deadline);
+    if (wait <= 0) {
+      timed_out = true;
+      break;
+    }
     pollfd pfd{client_fd, POLLIN, 0};
-    if (::poll(&pfd, 1, kIoPollMs) <= 0) return;  // silent: client stalled
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready < 0) return;
+    if (ready == 0) continue;  // deadline re-checked at the loop top
     char buffer[1024];
     const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
     if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
@@ -167,7 +205,14 @@ void AdminServer::ServeConnection(int client_fd) {
   const std::size_t sp2 = sp1 == std::string::npos
                               ? std::string::npos
                               : line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+  if (oversize) {
+    response = {431, "text/plain; charset=utf-8",
+                "request headers exceed " +
+                    std::to_string(options_.max_request_bytes) + " bytes\n"};
+  } else if (timed_out) {
+    response = {408, "text/plain; charset=utf-8",
+                "request not completed within the deadline\n"};
+  } else if (sp1 == std::string::npos || sp2 == std::string::npos) {
     response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
   } else if (line.substr(0, sp1) != "GET") {
     response = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
@@ -198,7 +243,10 @@ void AdminServer::ServeConnection(int client_fd) {
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += response.body;
-  SendAll(client_fd, out);
+  // The response write gets a fresh short grace even when the request
+  // deadline is already spent (a 408 the client never sees is useless);
+  // total connection time stays bounded by deadline + kIoPollMs per poll.
+  SendAll(client_fd, out, Clock::now() + std::chrono::milliseconds(kIoPollMs));
   requests_served_.fetch_add(1, std::memory_order_acq_rel);
 }
 

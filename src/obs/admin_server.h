@@ -45,6 +45,15 @@ struct AdminServerOptions {
   /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
   /// back with Port() after Start()).
   int port = 0;
+  /// Total header-block byte cap; a request that exceeds it before its
+  /// blank line is answered 431 without reading further (an admin scrape
+  /// is one short GET — anything bigger is a mistake or abuse).
+  std::size_t max_request_bytes = 8192;
+  /// Whole-request wall deadline covering the header read; a client that
+  /// connects and trickles (or never finishes) its request is answered
+  /// 408 when this expires instead of wedging the single listener thread.
+  /// The response write gets its own short I/O grace on top.
+  double request_deadline_seconds = 5.0;
 };
 
 /// What a handler hands back; the server adds the status line,

@@ -1,5 +1,7 @@
 #include "obs/eventlog.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -39,6 +41,10 @@ EventField::EventField(std::string k, const std::string& value)
 EventLog::EventLog(std::FILE* sink, EventLogOptions options)
     : options_(options),
       sink_(sink),
+      registry_emitted_(MetricsRegistry::Default().GetCounter(
+          "bitruss_eventlog_emitted_total")),
+      registry_dropped_(MetricsRegistry::Default().GetCounter(
+          "bitruss_eventlog_dropped_total")),
       tokens_(options.burst > 0 ? options.burst : 1),
       last_refill_(std::chrono::steady_clock::now()) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
@@ -50,23 +56,38 @@ EventLog::EventLog(const std::string& path, EventLogOptions options)
   owns_sink_ = sink_ != nullptr;
 }
 
-EventLog::~EventLog() {
+EventLog::~EventLog() { Stop(); }
+
+void EventLog::Stop() {
   {
     MutexLock lock(mu_);
     stopping_ = true;
   }
   queue_cv_.NotifyAll();
+  // The sink loop drains the whole queue before honoring the stop, so
+  // everything accepted before this call reaches the stream.
+  MutexLock join_lock(join_mu_);
   if (sink_thread_.joinable()) sink_thread_.join();
-  if (sink_ != nullptr) {
+  if (sink_ != nullptr && !closed_.load(std::memory_order_acquire)) {
     std::fflush(sink_);
-    if (owns_sink_) std::fclose(sink_);
+    if (owns_sink_) {
+      // Owned file: push it to disk before closing — the event log is a
+      // post-mortem artifact, so it must survive the crash that follows
+      // an orderly Stop() as well as the Stop() itself.
+      ::fsync(fileno(sink_));
+      closed_.store(true, std::memory_order_release);
+      std::fclose(sink_);
+    } else {
+      closed_.store(true, std::memory_order_release);
+    }
   }
 }
 
 void EventLog::Emit(const std::string& event,
                     std::initializer_list<EventField> fields) {
-  if (sink_ == nullptr) {
+  if (sink_ == nullptr || closed_.load(std::memory_order_acquire)) {
     dropped_.fetch_add(1, std::memory_order_acq_rel);
+    registry_dropped_->Inc();
     return;
   }
   // Format outside the lock: pure string work on the caller's thread.
@@ -98,12 +119,14 @@ void EventLog::Emit(const std::string& event,
       last_refill_ = now;
       if (tokens_ < 1) {
         dropped_.fetch_add(1, std::memory_order_acq_rel);
+        registry_dropped_->Inc();
         return;
       }
       tokens_ -= 1;
     }
     if (queue_.size() >= options_.queue_capacity || stopping_) {
       dropped_.fetch_add(1, std::memory_order_acq_rel);
+      registry_dropped_->Inc();
       return;
     }
     queue_.push_back(std::move(line));
@@ -116,7 +139,9 @@ void EventLog::Flush() {
   // Explicit predicate loop (not a wait-lambda) so the guarded reads are
   // checked against mu_ in this function's capability set.
   while (!(queue_.empty() && !sink_busy_)) flushed_cv_.Wait(lock);
-  if (sink_ != nullptr) std::fflush(sink_);
+  if (sink_ != nullptr && !closed_.load(std::memory_order_acquire)) {
+    std::fflush(sink_);
+  }
 }
 
 void EventLog::SinkLoop() {
@@ -134,6 +159,7 @@ void EventLog::SinkLoop() {
     for (const std::string& line : batch) {
       std::fwrite(line.data(), 1, line.size(), sink_);
       emitted_.fetch_add(1, std::memory_order_acq_rel);
+      registry_emitted_->Inc();
     }
     std::fflush(sink_);
     batch.clear();

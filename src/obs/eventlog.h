@@ -39,6 +39,8 @@
 
 namespace bitruss::obs {
 
+class Counter;
+
 /// One key/value pair of an event; the constructor renders the value to
 /// its final JSON token so Emit never revisits it.
 struct EventField {
@@ -79,8 +81,15 @@ class EventLog {
   EventLog(const EventLog&) = delete;
   EventLog& operator=(const EventLog&) = delete;
 
-  /// Flushes what is queued, joins the sink thread, closes an owned file.
+  /// Equivalent to Stop().
   ~EventLog();
+
+  /// Orderly shutdown: stops intake (later Emits drop, counted), drains
+  /// everything already queued, joins the sink thread, then flushes and —
+  /// for an owned file — fsyncs before closing, so every event accepted
+  /// before the call survives even a crash right after it.  Idempotent
+  /// and safe to race with the destructor (join_mu_ serializes them).
+  void Stop();
 
   /// Enqueues `{"ts":...,"event":"<event>",<fields>}`; wall-clock ts with
   /// microsecond resolution.  Never blocks on I/O; thread-safe.
@@ -111,6 +120,14 @@ class EventLog {
   // observes it counted.
   std::atomic<std::uint64_t> emitted_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  // Process-wide mirrors in MetricsRegistry::Default()
+  // (`bitruss_eventlog_{emitted,dropped}_total`): registry-owned, cached
+  // once in the constructor, aggregated across every EventLog instance.
+  Counter* registry_emitted_;
+  Counter* registry_dropped_;
+  // Ordering: release-stored by Stop() after the owned sink is closed,
+  // acquire-loaded by Flush/Emit so neither touches a dead FILE*.
+  std::atomic<bool> closed_{false};
 
   Mutex mu_;
   CondVar queue_cv_;    // sink waits for work/stop
@@ -121,9 +138,11 @@ class EventLog {
   bool stopping_ GUARDED_BY(mu_) = false;
   bool sink_busy_ GUARDED_BY(mu_) = false;
 
+  Mutex join_mu_;  // serializes the sink join + close across Stop races
   // Started last in the constructor (unguarded writes there are safe: the
-  // object is not yet shared), joined only by the destructor.
-  std::thread sink_thread_;
+  // object is not yet shared), joined by exactly one Stop() caller under
+  // join_mu_.
+  std::thread sink_thread_ GUARDED_BY(join_mu_);
 };
 
 }  // namespace bitruss::obs

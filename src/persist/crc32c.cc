@@ -1,0 +1,33 @@
+#include "persist/crc32c.h"
+
+#include <array>
+
+namespace bitruss::persist {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace bitruss::persist

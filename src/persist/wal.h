@@ -1,0 +1,192 @@
+// Write-ahead log of accepted edge updates.
+//
+// The serving layer appends one record per ACCEPTED Submit() — before the
+// update is acknowledged to the caller — so a crash can lose at most the
+// unacknowledged tail.  Records are length-prefixed and CRC32C-checksummed
+// in segment files that rotate at a size bound:
+//
+//   <dir>/wal-%016llx.seg        (hex value = first sequence in the file)
+//
+//   segment  = header record*
+//   header   = magic "BTWAL001" | u64 first_seq | u32 crc32c(first_seq)
+//   record   = u32 payload_len | u32 crc32c(payload) | payload
+//   payload  = u64 seq | u8 kind (0 insert, 1 delete) | u32 upper_local
+//            | u32 lower_local                                (17 bytes)
+//
+// Sequence numbers are the service's submission ordinals, strictly +1
+// across segment boundaries.  Integers are little-endian.
+//
+// Durability policy (FsyncPolicy): every-record fsyncs inside Append,
+// every-publish leaves fsync to the caller's Sync() at its publication
+// boundary, os-buffered never fsyncs (page cache only — survives process
+// death but not power loss).
+//
+// Failure model: once any append or sync fails — including injected
+// faults — the writer latches FAILED and every later call returns
+// kFailedPrecondition without touching the file, so a torn partial write
+// can never be buried under later appends (which would turn a benign torn
+// tail into unrecoverable middle corruption).  The serving layer reacts by
+// entering read-only degraded mode.
+//
+// Recovery (ReplayWal): replays records with seq > after_seq in order.  An
+// unparsable tail of the FINAL segment — short header, short record,
+// checksum mismatch — is a TORN WRITE: everything from the first bad byte
+// on is discarded (and physically truncated with repair_torn_tail, so the
+// next writer appends at a clean boundary).  The same damage anywhere
+// else, or a sequence gap, is kDataLoss: acknowledged records are missing
+// and replay refuses to fabricate state.  Fault points: wal.open,
+// wal.append, wal.pre_fsync, wal.post_fsync, wal.rotate, wal.truncate.
+
+#ifndef BITRUSS_PERSIST_WAL_H_
+#define BITRUSS_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace bitruss::persist {
+
+enum class FsyncPolicy : std::uint8_t {
+  kEveryRecord,   ///< fsync inside every Append (slowest, zero-loss)
+  kEveryPublish,  ///< caller fsyncs at publication boundaries via Sync()
+  kOsBuffered,    ///< never fsync (page cache durability only)
+};
+
+inline const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kEveryRecord:
+      return "every-record";
+    case FsyncPolicy::kEveryPublish:
+      return "every-publish";
+    case FsyncPolicy::kOsBuffered:
+      return "os";
+  }
+  return "unknown";
+}
+
+struct WalOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryPublish;
+  /// Rotate to a fresh segment once the current one reaches this size.
+  std::uint64_t segment_bytes = 4ull << 20;
+};
+
+struct WalRecord {
+  std::uint64_t seq = 0;  ///< submission ordinal, strictly +1 per record
+  std::uint8_t kind = 0;  ///< 0 insert, 1 delete
+  std::uint32_t upper_local = 0;
+  std::uint32_t lower_local = 0;
+};
+
+/// On-disk sizes (fixed in format v1); exposed for tests that build or
+/// corrupt files at byte granularity.
+inline constexpr std::size_t kWalSegmentHeaderBytes = 8 + 8 + 4;
+inline constexpr std::size_t kWalRecordPayloadBytes = 8 + 1 + 4 + 4;
+inline constexpr std::size_t kWalRecordBytes = 4 + 4 + kWalRecordPayloadBytes;
+
+struct WalReplayStats {
+  std::uint64_t records_replayed = 0;
+  std::uint64_t segments_read = 0;
+  /// Records discarded from the torn tail of the final segment (0 or the
+  /// count of unparsable trailing byte-runs treated as one torn region).
+  std::uint64_t torn_records_discarded = 0;
+  /// Bytes truncated off the final segment by repair_torn_tail.
+  std::uint64_t truncated_bytes = 0;
+  /// Highest valid sequence PARSED — including records at or below
+  /// after_seq that were validated but not handed to `fn` (0 if none).
+  std::uint64_t last_seq = 0;
+};
+
+/// Replays every record with seq > after_seq under `dir`, in sequence
+/// order, invoking `fn` per record (a non-OK return aborts the replay with
+/// that status).  kDataLoss on mid-log corruption or sequence gaps; a torn
+/// final tail is discarded silently (counted in stats) and, with
+/// repair_torn_tail, physically truncated so a subsequent WalWriter::Open
+/// appends at a clean record boundary.  An empty/absent directory replays
+/// nothing and returns OK.
+[[nodiscard]] Status ReplayWal(
+    const std::string& dir, std::uint64_t after_seq,
+    const std::function<Status(const WalRecord&)>& fn,
+    WalReplayStats* stats = nullptr, bool repair_torn_tail = false);
+
+class WalWriter {
+ public:
+  /// Opens `dir` (created if absent) for appending with `next_seq` as the
+  /// sequence of the first future record, starting a fresh segment named
+  /// by it.  The directory must hold NO segment files: a fresh service
+  /// starts empty, and recovery replays the old log, writes a durable
+  /// snapshot covering it, and deletes the old segments before reopening
+  /// — so Open never has to splice onto an arbitrary tail.  Returns
+  /// kFailedPrecondition if segments are present.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                   std::uint64_t next_seq,
+                                                   WalOptions options);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one record (record.seq must equal NextSeq()), rotating
+  /// segments as needed; fsyncs when the policy is kEveryRecord.
+  /// Thread-safe.  After any failure the writer is latched FAILED and
+  /// every call returns kFailedPrecondition (see header comment).
+  [[nodiscard]] Status Append(const WalRecord& record);
+
+  /// fsyncs the active segment (publication boundary under
+  /// kEveryPublish); a no-op stat under kOsBuffered is NOT applied — Sync
+  /// always syncs when called.
+  [[nodiscard]] Status Sync();
+
+  /// Deletes whole segments every record of which has seq <=
+  /// seq_inclusive (the active segment is never deleted).  Called after a
+  /// durable snapshot covering those records.  Returns the number of
+  /// segment files removed.
+  [[nodiscard]] StatusOr<int> TruncateThrough(std::uint64_t seq_inclusive);
+
+  /// Sequence the next Append must carry.
+  std::uint64_t NextSeq() const;
+  /// Total record bytes appended through this writer (headers excluded).
+  std::uint64_t BytesAppended() const;
+  /// fsync calls performed by this writer (Append-internal + Sync).
+  std::uint64_t Fsyncs() const;
+
+ private:
+  WalWriter(std::string dir, std::uint64_t next_seq, WalOptions options);
+
+  /// Opens (creating) the segment whose first record will be `first_seq`
+  /// and makes it the append target; fsyncs the directory entry.
+  [[nodiscard]] Status OpenFreshSegmentLocked(std::uint64_t first_seq)
+      REQUIRES(mu_);
+  [[nodiscard]] Status AppendLocked(const WalRecord& record) REQUIRES(mu_);
+  [[nodiscard]] Status SyncLocked() REQUIRES(mu_);
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable Mutex mu_;
+  int fd_ GUARDED_BY(mu_) = -1;
+  bool failed_ GUARDED_BY(mu_) = false;
+  std::uint64_t next_seq_ GUARDED_BY(mu_);
+  std::uint64_t segment_size_ GUARDED_BY(mu_) = 0;
+  std::uint64_t bytes_appended_ GUARDED_BY(mu_) = 0;
+  std::uint64_t fsyncs_ GUARDED_BY(mu_) = 0;
+  /// Existing segment first-seqs, ascending; back() is the active one.
+  std::vector<std::uint64_t> segment_first_seqs_ GUARDED_BY(mu_);
+};
+
+// Shared with snapshot_io.cc and tests: directory scan for files matching
+// `prefix%016llx.suffix`, returning the embedded values ascending.
+std::vector<std::uint64_t> ListStampedFiles(const std::string& dir,
+                                            const std::string& prefix,
+                                            const std::string& suffix);
+/// `<dir>/<prefix>%016llx<suffix>` formatting used by the scan above.
+std::string StampedPath(const std::string& dir, const std::string& prefix,
+                        std::uint64_t value, const std::string& suffix);
+
+}  // namespace bitruss::persist
+
+#endif  // BITRUSS_PERSIST_WAL_H_

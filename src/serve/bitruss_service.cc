@@ -1,14 +1,31 @@
 #include "serve/bitruss_service.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <optional>
+#include <stdexcept>
 
 namespace bitruss {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST) return OkStatus();
+  return InternalError("mkdir(" + dir + "): " + std::strerror(errno));
+}
+
+bool HasPriorDurableState(const std::string& dir) {
+  return !persist::ListStampedFiles(dir, "wal-", ".seg").empty() ||
+         !persist::ListStampedFiles(dir, "snapshot-", ".snap").empty();
+}
 }  // namespace
 
 std::vector<std::pair<EdgeId, SupportT>> PhiSnapshot::TopKPhi(
@@ -60,12 +77,76 @@ BitrussService::BitrussService(const BipartiteGraph& seed,
       read_topk_seconds_(obs::ExponentialBuckets(1e-7, 2.0, 18)),
       read_histogram_seconds_(obs::ExponentialBuckets(1e-7, 2.0, 18)) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (!options_.persist.dir.empty()) InitFreshPersistence();
   RegisterMetrics();
   // Version 1 covers the seed (0 applied updates); readers never observe a
   // null snapshot.  Publishing before the writer starts needs no atomics
   // beyond the store itself: thread creation orders everything before it.
   PublishSnapshot();
   writer_ = std::thread(&BitrussService::WriterLoop, this);
+}
+
+BitrussService::BitrussService(RestoredState state,
+                               BitrussServiceOptions options)
+    : options_(std::move(options)),
+      inc_(std::move(state.inc)),
+      num_upper_(inc_.Graph().NumUpper()),
+      num_lower_(inc_.Graph().NumLower()),
+      recovered_base_(state.applied),
+      wal_(std::move(state.wal)),
+      publish_seconds_(obs::ExponentialBuckets(1e-5, 2.0, 16)),
+      staleness_updates_(obs::ExponentialBuckets(1.0, 2.0, 12)),
+      // Same bucket layouts as the fresh constructor — the instruments feed
+      // the same registry families either way.
+      apply_seconds_(obs::ExponentialBuckets(1e-6, 2.0, 22)),
+      visibility_seconds_(obs::ExponentialBuckets(1e-5, 2.0, 20)),
+      read_phi_seconds_(obs::ExponentialBuckets(1e-7, 2.0, 18)),
+      read_topk_seconds_(obs::ExponentialBuckets(1e-7, 2.0, 18)),
+      read_histogram_seconds_(obs::ExponentialBuckets(1e-7, 2.0, 18)) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  bool newly_degraded = false;
+  if (state.degraded) {
+    MutexLock lock(mu_);
+    newly_degraded = EnterDegradedLocked(state.degraded_reason);
+  }
+  if (newly_degraded) EmitDegradedEnterEvent(state.degraded_reason);
+  RegisterMetrics();
+  PublishSnapshot();
+  writer_ = std::thread(&BitrussService::WriterLoop, this);
+}
+
+void BitrussService::InitFreshPersistence() {
+  const std::string& dir = options_.persist.dir;
+  // Construction failures here throw: unlike a mid-stream disk error there
+  // is no accepted state worth serving read-only yet, and silently running
+  // without the durability the caller configured would be worse.
+  if (Status st = EnsureDir(dir); !st.ok()) {
+    throw std::invalid_argument(st.message());
+  }
+  if (HasPriorDurableState(dir)) {
+    throw std::invalid_argument(
+        "persist dir '" + dir +
+        "' holds prior WAL/snapshot state; use BitrussService::Recover");
+  }
+  persist::WalOptions wal_options;
+  wal_options.fsync_policy = options_.persist.fsync_policy;
+  wal_options.segment_bytes = options_.persist.segment_bytes;
+  auto wal = persist::WalWriter::Open(dir, /*next_seq=*/1, wal_options);
+  if (!wal.ok()) {
+    throw std::runtime_error("opening WAL in '" + dir +
+                             "': " + wal.status().message());
+  }
+  wal_ = std::move(wal).value();
+  // Seed snapshot at applied=0: recovery always has a base image, so a
+  // crash before the first cadence snapshot still replays WAL-only against
+  // the right starting state.  Failure degrades rather than throws — the
+  // WAL is up, and the writer retries snapshots anyway.
+  if (Status st = persist::WriteSnapshotFile(dir, BuildState(inc_, 0));
+      !st.ok()) {
+    persist_snapshot_failures_.Inc();
+    persist_failures_.Inc();
+    EnterDegraded("initial durable snapshot failed: " + st.message());
+  }
 }
 
 BitrussService::~BitrussService() {
@@ -98,12 +179,37 @@ void BitrussService::RegisterMetrics() {
                              &read_topk_seconds_);
   registry.RegisterHistogram("bitruss_serve_read_histogram_seconds",
                              &read_histogram_seconds_);
+  // Durability family — always registered so the metrics surface is stable
+  // whether or not persistence is configured (all-zero when off).
+  registry.RegisterCounter("bitruss_persist_wal_records_total",
+                           &persist_wal_records_);
+  registry.RegisterCounter("bitruss_persist_wal_bytes_total",
+                           &persist_wal_bytes_);
+  registry.RegisterCounter("bitruss_persist_failures_total",
+                           &persist_failures_);
+  registry.RegisterCounter("bitruss_persist_snapshots_total",
+                           &persist_snapshots_);
+  registry.RegisterCounter("bitruss_persist_snapshot_failures_total",
+                           &persist_snapshot_failures_);
+  registry.RegisterCounter("bitruss_persist_wal_truncated_segments_total",
+                           &persist_wal_truncated_segments_);
   // The depth gauges are plain atomic reads, safe under the registry lock.
   gauge_callback_handles_.push_back(registry.AddGaugeCallback(
       "bitruss_serve_queue_depth", [this] { return queue_depth_.Value(); }));
   gauge_callback_handles_.push_back(
       registry.AddGaugeCallback("bitruss_serve_queue_depth_peak", [this] {
         return queue_depth_peak_.Value();
+      }));
+  gauge_callback_handles_.push_back(
+      registry.AddGaugeCallback("bitruss_persist_degraded", [this] {
+        return std::int64_t{Degraded() ? 1 : 0};
+      }));
+  // WalWriter::Fsyncs takes the WAL's internal mutex — a leaf below the
+  // registry lock, never held while calling back out.
+  gauge_callback_handles_.push_back(
+      registry.AddGaugeCallback("bitruss_persist_wal_fsyncs", [this] {
+        return wal_ ? static_cast<std::int64_t>(wal_->Fsyncs())
+                    : std::int64_t{0};
       }));
 }
 
@@ -132,6 +238,18 @@ void BitrussService::UnregisterMetrics() {
                                &read_topk_seconds_);
   registry.UnregisterHistogram("bitruss_serve_read_histogram_seconds",
                                &read_histogram_seconds_);
+  registry.UnregisterCounter("bitruss_persist_wal_records_total",
+                             &persist_wal_records_);
+  registry.UnregisterCounter("bitruss_persist_wal_bytes_total",
+                             &persist_wal_bytes_);
+  registry.UnregisterCounter("bitruss_persist_failures_total",
+                             &persist_failures_);
+  registry.UnregisterCounter("bitruss_persist_snapshots_total",
+                             &persist_snapshots_);
+  registry.UnregisterCounter("bitruss_persist_snapshot_failures_total",
+                             &persist_snapshot_failures_);
+  registry.UnregisterCounter("bitruss_persist_wal_truncated_segments_total",
+                             &persist_wal_truncated_segments_);
   for (const std::uint64_t handle : gauge_callback_handles_) {
     registry.RemoveGaugeCallback(handle);
   }
@@ -146,25 +264,61 @@ Status BitrussService::Submit(const EdgeUpdate& update) {
   if (update.upper_local >= num_upper_ || update.lower_local >= num_lower_) {
     return InvalidArgumentError("endpoint out of range");
   }
+  bool overflow = false;
+  std::optional<std::string> degrade_event;
+  std::optional<Status> wal_failure;
   {
     MutexLock lock(mu_);
     if (stopping_) {
       return UnavailableError("BitrussService is shut down");
     }
+    if (degraded_.load(std::memory_order_acquire)) {
+      return UnavailableError("service is read-only (degraded): " +
+                              degraded_reason_);
+    }
     if (queue_.size() >= options_.queue_capacity) {
+      // Checked BEFORE the WAL append: a rejected update consumes no
+      // sequence number, so the log holds exactly the accepted stream.
       rejected_overflow_.Inc();
+      overflow = true;
       // Event emitted outside mu_ below; the log's own lock is a leaf.
     } else {
-      queue_.push_back({update, Clock::now()});
-      const auto depth = static_cast<std::int64_t>(queue_.size());
-      queue_depth_.Set(depth);
-      queue_depth_peak_.MaxWith(depth);
-      submitted_.IncOrdered();
-      queue_cv_.NotifyOne();
-      return OkStatus();
+      if (wal_ != nullptr) {
+        // Write-ahead: the record must be durable (to the configured
+        // policy) before the OK that acknowledges the update.
+        persist::WalRecord record;
+        record.seq = recovered_base_ + submitted_.Value() + 1;
+        record.kind = update.kind == EdgeUpdate::Kind::kInsert ? 0 : 1;
+        record.upper_local = update.upper_local;
+        record.lower_local = update.lower_local;
+        if (Status st = wal_->Append(record); !st.ok()) {
+          persist_failures_.Inc();
+          const std::string reason = "WAL append failed: " + st.message();
+          if (EnterDegradedLocked(reason)) degrade_event = reason;
+          wal_failure = UnavailableError("service is read-only (degraded): " +
+                                         reason);
+        }
+      }
+      if (!wal_failure) {
+        if (wal_ != nullptr) {
+          persist_wal_records_.Inc();
+          persist_wal_bytes_.Inc(persist::kWalRecordBytes);
+        }
+        // A logged record MUST be enqueued — skipping it would leave a gap
+        // between the WAL and the applied stream.  Nothing below can fail.
+        queue_.push_back({update, Clock::now()});
+        const auto depth = static_cast<std::int64_t>(queue_.size());
+        queue_depth_.Set(depth);
+        queue_depth_peak_.MaxWith(depth);
+        submitted_.IncOrdered();
+        queue_cv_.NotifyOne();
+        return OkStatus();
+      }
     }
   }
-  if (options_.event_log != nullptr) {
+  if (degrade_event) EmitDegradedEnterEvent(*degrade_event);
+  if (wal_failure) return *wal_failure;
+  if (overflow && options_.event_log != nullptr) {
     options_.event_log->Emit(
         "backpressure_reject",
         {{"queue_capacity",
@@ -264,11 +418,49 @@ double BitrussService::SnapshotAgeSeconds() const {
              : static_cast<double>(now - stamp) * 1e-9;
 }
 
+std::string BitrussService::DegradedReason() const {
+  MutexLock lock(mu_);
+  return degraded_reason_;
+}
+
+bool BitrussService::EnterDegradedLocked(const std::string& reason) {
+  if (degraded_.load(std::memory_order_acquire)) return false;
+  degraded_reason_ = reason;
+  // Release AFTER the reason is in place: an acquire-load of true followed
+  // by taking mu_ always observes the reason (see the member comment).
+  degraded_.store(true, std::memory_order_release);
+  return true;
+}
+
+void BitrussService::EnterDegraded(const std::string& reason) {
+  bool newly = false;
+  {
+    MutexLock lock(mu_);
+    newly = EnterDegradedLocked(reason);
+  }
+  if (newly) EmitDegradedEnterEvent(reason);
+}
+
+void BitrussService::EmitDegradedEnterEvent(const std::string& reason) {
+  if (options_.event_log == nullptr) return;
+  options_.event_log->Emit("degraded_enter",
+                           {{"reason", reason},
+                            {"submitted", submitted_.Value()},
+                            {"applied", applied_.Value()}});
+}
+
 std::string BitrussService::HealthJson() const {
   const std::shared_ptr<const PhiSnapshot> snap = Snapshot();
   char age[64];
   std::snprintf(age, sizeof(age), "%.6f", SnapshotAgeSeconds());
-  std::string out = "{\"status\":\"ok\"";
+  const bool degraded = Degraded();
+  std::string out =
+      degraded ? "{\"status\":\"degraded\"" : "{\"status\":\"ok\"";
+  if (degraded) {
+    out += ",\"degraded_reason\":\"";
+    obs::AppendJsonEscaped(DegradedReason(), &out);
+    out += "\"";
+  }
   out += ",\"snapshot_version\":" + std::to_string(snap->version);
   out += ",\"snapshot_applied_updates\":" +
          std::to_string(snap->applied_updates);
@@ -281,6 +473,7 @@ std::string BitrussService::HealthJson() const {
   out += ",\"staleness_updates\":" + std::to_string(StalenessUpdates());
   out += ",\"num_edges\":" + std::to_string(snap->num_edges);
   out += ",\"num_butterflies\":" + std::to_string(snap->num_butterflies);
+  out += ",\"recovered_base\":" + std::to_string(recovered_base_);
   out += "}";
   return out;
 }
@@ -364,6 +557,17 @@ void BitrussService::ApplyUpdate(const QueuedUpdate& queued) {
 
 void BitrussService::PublishSnapshot() {
   const Clock::time_point publish_start = Clock::now();
+  // Publication is the durability boundary under kEveryPublish: every WAL
+  // record acknowledged so far reaches disk before the covering snapshot
+  // becomes visible to readers.
+  if (wal_ != nullptr &&
+      options_.persist.fsync_policy == persist::FsyncPolicy::kEveryPublish &&
+      !Degraded()) {
+    if (Status st = wal_->Sync(); !st.ok()) {
+      persist_failures_.Inc();
+      EnterDegraded("WAL sync at publish failed: " + st.message());
+    }
+  }
   const DynamicBipartiteGraph& graph = inc_.Graph();
   auto snapshot = std::make_shared<PhiSnapshot>();
   const std::uint64_t version = published_snapshots_.Value() + 1;
@@ -371,7 +575,9 @@ void BitrussService::PublishSnapshot() {
   const std::uint64_t prev_covered =
       published_applied_.load(std::memory_order_relaxed);
   snapshot->version = version;
-  snapshot->applied_updates = covers;
+  // Readers see the ABSOLUTE update count (meaningful across restarts);
+  // the Drain/staleness protocol below stays in process-local numbers.
+  snapshot->applied_updates = recovered_base_ + covers;
   snapshot->num_edges = graph.NumEdges();
   snapshot->num_slots = graph.NumSlots();
   snapshot->num_butterflies = graph.NumButterflies();
@@ -469,6 +675,7 @@ void BitrussService::WriterLoop() {
       ApplyUpdate(queued);
       pending_visibility_.push_back(queued.submit_time);
       ++applied_since_publish_;
+      ++applied_since_durable_;
       if (options_.compact_every_updates != 0 &&
           ++applied_since_compact_ >= options_.compact_every_updates) {
         const EdgeId slots_before = inc_.Graph().NumSlots();
@@ -482,6 +689,13 @@ void BitrussService::WriterLoop() {
                {"slots_after",
                 static_cast<std::uint64_t>(inc_.Graph().NumSlots())}});
         }
+      }
+      // Durable-snapshot cadence runs AFTER a possible compaction so the
+      // persisted image reflects the numbering later snapshots serve.
+      if (wal_ != nullptr && !Degraded() &&
+          options_.persist.snapshot_every_updates != 0 &&
+          applied_since_durable_ >= options_.persist.snapshot_every_updates) {
+        WriteDurableSnapshot();
       }
     }
 
@@ -506,10 +720,216 @@ void BitrussService::WriterLoop() {
 
     if (stop && queue_empty) {
       if (applied_since_publish_ > 0) PublishSnapshot();
+      if (wal_ != nullptr && !Degraded()) {
+        if (drain) {
+          // A drained shutdown ends with a snapshot covering everything
+          // applied, so the next start replays zero WAL records.
+          WriteDurableSnapshot();
+        } else if (Status st = wal_->Sync(); !st.ok()) {
+          // Discarded-queue shutdown: those updates were still
+          // acknowledged, so seal the WAL tail — recovery replays them.
+          persist_failures_.Inc();
+          EnterDegraded("WAL sync at shutdown failed: " + st.message());
+        }
+      }
       drained_cv_.NotifyAll();
       return;
     }
   }
+}
+
+persist::StateSnapshot BitrussService::BuildState(
+    const IncrementalBitruss& inc, std::uint64_t applied) {
+  DynamicGraphState graph = inc.Graph().ExportState();
+  persist::StateSnapshot state;
+  state.applied = applied;
+  state.num_upper = graph.num_upper;
+  state.num_lower = graph.num_lower;
+  state.num_butterflies = graph.num_butterflies;
+  state.upper = std::move(graph.upper);
+  state.lower = std::move(graph.lower);
+  state.support = std::move(graph.support);
+  state.phi = inc.PhiBySlot();
+  state.free_slots = std::move(graph.free_slots);
+  return state;
+}
+
+void BitrussService::WriteDurableSnapshot() {
+  const std::uint64_t applied = recovered_base_ + applied_.Value();
+  if (Status st = persist::WriteSnapshotFile(options_.persist.dir,
+                                             BuildState(inc_, applied));
+      !st.ok()) {
+    persist_snapshot_failures_.Inc();
+    persist_failures_.Inc();
+    EnterDegraded("durable snapshot failed: " + st.message());
+    return;
+  }
+  persist_snapshots_.Inc();
+  applied_since_durable_ = 0;
+  // The snapshot covers every record through `applied`; whole segments
+  // behind it are dead weight for recovery.
+  const StatusOr<int> removed = wal_->TruncateThrough(applied);
+  if (!removed.ok()) {
+    persist_failures_.Inc();
+    EnterDegraded("WAL truncation failed: " + removed.status().message());
+    return;
+  }
+  if (removed.value() > 0) {
+    persist_wal_truncated_segments_.Inc(
+        static_cast<std::uint64_t>(removed.value()));
+  }
+  const int pruned = persist::RemoveOldSnapshots(
+      options_.persist.dir, options_.persist.keep_snapshots);
+  if (options_.event_log != nullptr) {
+    options_.event_log->Emit("durable_snapshot",
+                             {{"applied", applied},
+                              {"wal_segments_removed", removed.value()},
+                              {"snapshots_pruned", pruned}});
+  }
+}
+
+StatusOr<std::unique_ptr<BitrussService>> BitrussService::Recover(
+    const BipartiteGraph& seed, BitrussServiceOptions options,
+    RecoveryStats* stats) {
+  const Clock::time_point start = Clock::now();
+  const std::string& dir = options.persist.dir;
+  if (dir.empty()) {
+    return InvalidArgumentError("Recover requires options.persist.dir");
+  }
+  if (Status st = EnsureDir(dir); !st.ok()) return st;
+  RecoveryStats local;
+  RecoveryStats& out = stats != nullptr ? *stats : local;
+  out = RecoveryStats{};
+
+  // 1. Newest intact durable snapshot — or the seed when none survives.
+  std::optional<IncrementalBitruss> inc;
+  std::uint64_t base = 0;
+  {
+    StatusOr<persist::StateSnapshot> loaded =
+        persist::LoadNewestSnapshot(dir, &out.corrupt_snapshots_skipped);
+    if (loaded.ok()) {
+      persist::StateSnapshot& snap = loaded.value();
+      if (snap.num_upper != seed.NumUpper() ||
+          snap.num_lower != seed.NumLower()) {
+        return DataLossError(
+            "durable snapshot vertex universe (" +
+            std::to_string(snap.num_upper) + "x" +
+            std::to_string(snap.num_lower) +
+            ") does not match the seed graph (" +
+            std::to_string(seed.NumUpper()) + "x" +
+            std::to_string(seed.NumLower()) + ")");
+      }
+      DynamicGraphState graph_state;
+      graph_state.num_upper = snap.num_upper;
+      graph_state.num_lower = snap.num_lower;
+      graph_state.num_butterflies = snap.num_butterflies;
+      graph_state.upper = std::move(snap.upper);
+      graph_state.lower = std::move(snap.lower);
+      graph_state.support = std::move(snap.support);
+      graph_state.free_slots = std::move(snap.free_slots);
+      StatusOr<DynamicBipartiteGraph> graph =
+          DynamicBipartiteGraph::FromState(graph_state);
+      if (!graph.ok()) return graph.status();
+      inc.emplace(std::move(graph).value(), std::move(snap.phi),
+                  options.incremental);
+      base = snap.applied;
+      out.snapshot_applied = base;
+    } else if (loaded.status().code() == StatusCode::kNotFound) {
+      // No usable snapshot: rebuild from the seed (full Decompose) and
+      // lean entirely on WAL replay.
+      inc.emplace(seed, options.incremental);
+      out.from_seed = true;
+    } else {
+      return loaded.status();
+    }
+  }
+
+  // 2. Replay the WAL suffix, repairing (physically truncating) a torn
+  // final tail.  Mid-log corruption or sequence gaps surface as kDataLoss.
+  persist::WalReplayStats replay;
+  Status replay_status = persist::ReplayWal(
+      dir, /*after_seq=*/base,
+      [&inc](const persist::WalRecord& record) {
+        // Mirrors ApplyUpdate: a record that no longer applies (duplicate
+        // insert, vanished delete target) is a stream-level no-op, not a
+        // replay failure — the original writer counted it the same way.
+        if (record.kind == 0) {
+          (void)inc->InsertEdge(record.upper_local, record.lower_local);
+        } else {
+          const EdgeId slot = inc->Graph().FindEdge(
+              record.upper_local,
+              inc->Graph().NumUpper() + record.lower_local);
+          if (slot != kInvalidEdge) {
+            (void)inc->DeleteEdge(slot);
+          }
+        }
+        return OkStatus();
+      },
+      &replay, /*repair_torn_tail=*/true);
+  if (!replay_status.ok()) return replay_status;
+  out.wal_replayed = replay.records_replayed;
+  out.torn_records_discarded = replay.torn_records_discarded;
+  const std::uint64_t base_final = base + replay.records_replayed;
+
+  // 3. Re-arm durability: persist a snapshot covering everything
+  // recovered, drop the now-covered WAL segments, and reopen the WAL
+  // fresh at the next sequence.  Failures here degrade instead of
+  // aborting — the recovered state is intact and worth serving read-only.
+  bool degraded = false;
+  std::string degraded_reason;
+  std::unique_ptr<persist::WalWriter> wal;
+  Status persist_status =
+      persist::WriteSnapshotFile(dir, BuildState(*inc, base_final));
+  if (persist_status.ok()) {
+    // Every old record has seq <= base_final (the snapshot's coverage, by
+    // construction), so ALL segments are disposable — including a stale
+    // tail below an os-buffered-era snapshot.
+    for (const std::uint64_t first_seq :
+         persist::ListStampedFiles(dir, "wal-", ".seg")) {
+      const std::string path =
+          persist::StampedPath(dir, "wal-", first_seq, ".seg");
+      if (::unlink(path.c_str()) != 0) {
+        persist_status =
+            InternalError("unlink(" + path + "): " + std::strerror(errno));
+        break;
+      }
+    }
+  }
+  if (persist_status.ok()) {
+    persist::RemoveOldSnapshots(dir, options.persist.keep_snapshots);
+    persist::WalOptions wal_options;
+    wal_options.fsync_policy = options.persist.fsync_policy;
+    wal_options.segment_bytes = options.persist.segment_bytes;
+    StatusOr<std::unique_ptr<persist::WalWriter>> opened =
+        persist::WalWriter::Open(dir, base_final + 1, wal_options);
+    if (opened.ok()) {
+      wal = std::move(opened).value();
+    } else {
+      persist_status = opened.status();
+    }
+  }
+  if (!persist_status.ok()) {
+    degraded = true;
+    degraded_reason =
+        "re-arming durability after recovery failed: " +
+        persist_status.message();
+  }
+
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.GetCounter("bitruss_recovery_replayed_total")
+      ->Inc(replay.records_replayed);
+  registry.GetCounter("bitruss_recovery_torn_records_total")
+      ->Inc(replay.torn_records_discarded);
+  registry
+      .GetHistogram("bitruss_recovery_seconds",
+                    obs::ExponentialBuckets(1e-4, 2.0, 20))
+      ->Observe(out.seconds);
+
+  RestoredState state{std::move(*inc), base_final, std::move(wal), degraded,
+                      std::move(degraded_reason)};
+  return std::unique_ptr<BitrussService>(
+      new BitrussService(std::move(state), std::move(options)));
 }
 
 }  // namespace bitruss

@@ -33,6 +33,11 @@
 //   * Shutdown is explicit and drains by default: `Shutdown(true)` stops
 //     intake, applies everything already queued, publishes a final
 //     snapshot covering all of it, and joins the writer.
+//   * Durability is opt-in (PersistOptions): accepted updates are
+//     write-ahead logged BEFORE Submit acknowledges them, full state
+//     snapshots bound the replay, and `Recover()` rebuilds the exact phi
+//     after a crash.  A failed durability write flips the service to
+//     read-only "degraded" mode rather than lying about persistence.
 //
 // Slot ids are the DynamicBipartiteGraph slot ids and are only meaningful
 // relative to a snapshot: when the writer compacts the slot table
@@ -58,6 +63,8 @@
 #include "graph/types.h"
 #include "obs/eventlog.h"
 #include "obs/metrics.h"
+#include "persist/snapshot_io.h"
+#include "persist/wal.h"
 #include "util/status.h"
 #include "util/sync.h"
 
@@ -115,6 +122,46 @@ struct PhiSnapshot {
   std::vector<std::pair<SupportT, std::uint64_t>> PhiHistogram() const;
 };
 
+/// Crash-tolerance knobs.  With a non-empty `dir` the service WRITE-AHEAD
+/// LOGS every accepted update before acknowledging it and periodically
+/// persists full state snapshots, so a kill -9 (or power cut, under the
+/// every-record fsync policy) loses at most the unacknowledged tail —
+/// BitrussService::Recover rebuilds the exact maintained phi from the
+/// newest snapshot plus the WAL suffix.  When any durability write fails
+/// the service DEGRADES to read-only instead of crashing or silently
+/// dropping its guarantee: reads keep serving the in-memory state, Submit
+/// returns kUnavailable with the reason, /healthz reports "degraded".
+struct PersistOptions {
+  /// Durability directory; empty disables persistence entirely.  A fresh
+  /// service requires it to hold no prior WAL/snapshot state (use
+  /// Recover() for that); recovery requires it to be readable.
+  std::string dir;
+  /// When WAL records reach disk: every-record survives power loss,
+  /// every-publish (default) fsyncs at snapshot publications, os-buffered
+  /// survives process death only.
+  persist::FsyncPolicy fsync_policy = persist::FsyncPolicy::kEveryPublish;
+  /// WAL segment rotation threshold (persist::WalOptions::segment_bytes).
+  std::uint64_t segment_bytes = 4ull << 20;
+  /// Write a durable state snapshot (and truncate the WAL behind it)
+  /// every N applied updates; 0 means only at drain-shutdown.
+  std::uint64_t snapshot_every_updates = 4096;
+  /// Durable snapshots retained on disk (older ones are pruned).
+  int keep_snapshots = 2;
+};
+
+/// What BitrussService::Recover had to do; for logs, tests, and the
+/// `bitruss_recovery_*` metric family.
+struct RecoveryStats {
+  /// WAL sequence the loaded snapshot covered (0 when starting from the
+  /// seed graph because no intact snapshot existed).
+  std::uint64_t snapshot_applied = 0;
+  std::uint64_t wal_replayed = 0;           ///< records applied from the WAL
+  std::uint64_t torn_records_discarded = 0; ///< torn-tail records dropped
+  int corrupt_snapshots_skipped = 0;  ///< damaged snapshots passed over
+  bool from_seed = false;  ///< no snapshot found; state rebuilt from seed
+  double seconds = 0;      ///< wall time of the whole recovery
+};
+
 struct BitrussServiceOptions {
   /// Bound on updates waiting in the ingest queue; Submit returns
   /// kResourceExhausted once it is reached (backpressure, never blocking).
@@ -141,6 +188,8 @@ struct BitrussServiceOptions {
   /// An apply whose own work (dequeue to done, queue wait excluded) takes
   /// longer than this emits a `slow_apply` event; 0 disables.
   double slow_apply_seconds = 0.05;
+  /// WAL + snapshot durability; see PersistOptions.  Disabled by default.
+  PersistOptions persist;
 };
 
 /// Monotonic service counters, readable from any thread at any time.
@@ -164,6 +213,21 @@ class BitrussService {
   /// writer thread.
   explicit BitrussService(const BipartiteGraph& seed,
                           BitrussServiceOptions options = {});
+
+  /// Rebuilds a service from the durable state under options.persist.dir
+  /// (which must be set): loads the newest intact snapshot (falling back
+  /// to older ones past corrupt files, and to a fresh Decompose of `seed`
+  /// when none exists), replays the WAL records after it — a torn final
+  /// record is discarded, any other damage or sequence gap returns
+  /// kDataLoss — writes a fresh durable snapshot covering everything
+  /// recovered, clears the old WAL, and starts serving.  The recovered
+  /// phi is bit-identical to replaying the same accepted updates against
+  /// a fresh service.  If re-establishing durability fails (disk full at
+  /// the recovery snapshot, WAL reopen error) the service still starts,
+  /// DEGRADED to read-only, so the recovered state remains queryable.
+  [[nodiscard]] static StatusOr<std::unique_ptr<BitrussService>> Recover(
+      const BipartiteGraph& seed, BitrussServiceOptions options,
+      RecoveryStats* stats = nullptr);
 
   BitrussService(const BitrussService&) = delete;
   BitrussService& operator=(const BitrussService&) = delete;
@@ -229,11 +293,28 @@ class BitrussService {
   double SnapshotAgeSeconds() const;
 
   /// One-line JSON liveness document for an admin `/healthz` endpoint:
-  /// status, snapshot version + covered updates + age, queue depth /
-  /// capacity, applied/submitted counters, staleness, edge + butterfly
-  /// counts.  Safe from any thread; values are individually atomic (same
+  /// status ("ok", or "degraded" with a degraded_reason field), snapshot
+  /// version + covered updates + age, queue depth / capacity,
+  /// applied/submitted counters, staleness, edge + butterfly counts.
+  /// Safe from any thread; values are individually atomic (same
   /// consistency contract as Stats()).
   std::string HealthJson() const;
+
+  /// True once a durability write has failed and the service is serving
+  /// reads only (Submit returns kUnavailable).  Latched for the life of
+  /// the process — re-arming durability safely needs a restart through
+  /// Recover().
+  bool Degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+  /// Human-readable cause of the degradation ("" while healthy).
+  std::string DegradedReason() const;
+
+  /// Submitted/applied counts offset by the updates this process
+  /// recovered at startup (0 for a fresh service): the WAL sequence space
+  /// and durable snapshot stamps live in this absolute numbering, while
+  /// Stats() counters cover only this process's own work.
+  std::uint64_t RecoveredBase() const { return recovered_base_; }
 
   BitrussServiceStats Stats() const;
 
@@ -254,6 +335,17 @@ class BitrussService {
     std::chrono::steady_clock::time_point submit_time;
   };
 
+  /// Everything Recover() rebuilds before the service object exists; the
+  /// private constructor adopts it instead of decomposing a seed.
+  struct RestoredState {
+    IncrementalBitruss inc;
+    std::uint64_t applied = 0;  ///< absolute update count the state reflects
+    std::unique_ptr<persist::WalWriter> wal;  ///< null when degraded
+    bool degraded = false;
+    std::string degraded_reason;
+  };
+  BitrussService(RestoredState state, BitrussServiceOptions options);
+
   void WriterLoop();
   /// Applies one update to the owned IncrementalBitruss (writer thread
   /// only) and maintains the applied/failure counters plus the
@@ -267,12 +359,52 @@ class BitrussService {
   void RegisterMetrics();
   void UnregisterMetrics();
 
+  /// Latches read-only degraded mode with `reason`; true when this call
+  /// was the transition (the caller then emits the degraded_enter event
+  /// OUTSIDE mu_ — the event log's lock stays a leaf).
+  bool EnterDegradedLocked(const std::string& reason) REQUIRES(mu_);
+  /// Lock-taking wrapper for writer-thread call sites; emits the event.
+  void EnterDegraded(const std::string& reason);
+  void EmitDegradedEnterEvent(const std::string& reason);
+
+  /// Fresh-constructor persistence setup: opens the WAL at sequence 1 and
+  /// writes the initial applied-0 snapshot.  Requires a state-free
+  /// directory (throws std::invalid_argument otherwise — prior durable
+  /// state must go through Recover()); a failed WAL open throws
+  /// std::runtime_error, a failed initial snapshot only degrades.
+  void InitFreshPersistence();
+
+  /// Full state image at absolute update count `applied` (shared between
+  /// the writer's cadence snapshots and Recover's post-replay snapshot).
+  static persist::StateSnapshot BuildState(const IncrementalBitruss& inc,
+                                           std::uint64_t applied);
+  /// Writer thread: persists a durable snapshot, truncates the WAL behind
+  /// it, prunes old snapshots; any failure degrades the service.
+  void WriteDurableSnapshot();
+
   BitrussServiceOptions options_;
   IncrementalBitruss inc_;  // writer thread only (constructor excepted)
   // Vertex-set bounds are fixed at seeding; cached so Submit can validate
   // endpoints without touching the writer-owned graph.
   const VertexId num_upper_;
   const VertexId num_lower_;
+  /// Updates already reflected in the recovered state at startup (0 for a
+  /// fresh service).  Process-local counters stay zero-based; this offset
+  /// is added wherever a number must be meaningful ACROSS restarts: WAL
+  /// sequences, durable snapshot stamps, published applied_updates.
+  const std::uint64_t recovered_base_ = 0;
+
+  /// Write-ahead log, or null when persistence is off (and after a failed
+  /// recovery re-arm).  The pointer is set once in the constructor and
+  /// never reassigned; WalWriter itself is internally synchronized, so
+  /// Submit (under mu_) and the writer thread (Sync/TruncateThrough) may
+  /// call into it concurrently.
+  std::unique_ptr<persist::WalWriter> wal_;
+  /// Ordering: release store under mu_ (after degraded_reason_ is
+  /// written), acquire loads elsewhere — a reader that observes true and
+  /// then takes mu_ sees the reason.  Latched, never cleared.
+  std::atomic<bool> degraded_{false};
+  std::string degraded_reason_ GUARDED_BY(mu_);
 
   // Published state.  snapshot_ is accessed exclusively through
   // std::atomic_load / std::atomic_store (acquire/release): C++17's
@@ -307,6 +439,13 @@ class BitrussService {
   mutable obs::Histogram read_phi_seconds_;
   mutable obs::Histogram read_topk_seconds_;
   mutable obs::Histogram read_histogram_seconds_;
+  // Durability instruments (PR 10), registered as `bitruss_persist_*`.
+  obs::Counter persist_wal_records_;
+  obs::Counter persist_wal_bytes_;
+  obs::Counter persist_failures_;
+  obs::Counter persist_snapshots_;
+  obs::Counter persist_snapshot_failures_;
+  obs::Counter persist_wal_truncated_segments_;
   std::vector<std::uint64_t> gauge_callback_handles_;
   /// Steady-clock nanosecond stamp of the last publication, for
   /// SnapshotAgeSeconds: release-stored by the writer at publication,
@@ -325,6 +464,7 @@ class BitrussService {
   // Writer-thread-local publication bookkeeping (no locking needed).
   std::uint64_t applied_since_publish_ = 0;
   std::uint64_t applied_since_compact_ = 0;
+  std::uint64_t applied_since_durable_ = 0;
   /// Submit timestamps of applied-but-not-yet-published updates; drained
   /// into visibility_seconds_ at each publication (bounded by the publish
   /// cadence: the writer publishes at the latest when its queue drains).

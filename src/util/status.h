@@ -25,6 +25,7 @@ enum class StatusCode {
   kResourceExhausted,
   kUnavailable,
   kInternal,
+  kDataLoss,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -45,6 +46,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -103,6 +106,12 @@ inline Status UnavailableError(std::string message) {
 /// carries the underlying errno text.
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+/// Unrecoverable corruption of persisted state (checksum mismatch, sequence
+/// gap in a WAL middle): retrying cannot help and the data is gone.  A torn
+/// FINAL record is NOT data loss — it was never acknowledged as durable.
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 /// Either a value or a non-ok Status.  Accessing value() without checking

@@ -310,6 +310,91 @@ TEST(AdminServer, LifecycleIsStrictAboutStartAndIdempotentAboutStop) {
   server.Stop();
 }
 
+// Raw exchange that does NOT complete the request: connect, send exactly
+// `payload`, then read the server's verdict to EOF.  Fetch() always sends a
+// terminated request, so the abuse paths (431/408) need this lower-level
+// client.
+HttpReply SendRawAndRead(int port, const std::string& payload) {
+  HttpReply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return reply;
+  }
+  if (!payload.empty() &&
+      ::send(fd, payload.data(), payload.size(), 0) !=
+          static_cast<ssize_t>(payload.size())) {
+    ::close(fd);
+    return reply;
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return reply;
+  reply.headers = response.substr(0, header_end);
+  reply.body = response.substr(header_end + 4);
+  if (std::sscanf(response.c_str(), "HTTP/1.0 %d", &reply.status) != 1) {
+    return reply;
+  }
+  reply.ok = true;
+  return reply;
+}
+
+// A header block that blows past max_request_bytes is answered 431 without
+// reading further, and the listener survives to serve the next request.
+TEST(AdminServer, OversizedHeadersAnswer431) {
+  AdminServerOptions options;
+  options.max_request_bytes = 256;
+  AdminServer server(options);
+  server.Handle("/ping", [] { return AdminResponse{200, "text/plain", "pong"}; });
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string huge = "GET /ping HTTP/1.0\r\nX-Filler: " +
+                           std::string(1024, 'a');  // never terminated
+  const HttpReply reply = SendRawAndRead(server.Port(), huge);
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 431);
+  EXPECT_NE(reply.body.find("256"), std::string::npos) << reply.body;
+
+  const HttpReply after = Get(server.Port(), "/ping");
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.status, 200);
+  server.Stop();
+}
+
+// A client that connects and stalls mid-request is answered 408 when the
+// whole-request deadline expires — the single listener thread is not
+// wedged, and normal requests are served afterwards.
+TEST(AdminServer, StalledRequestAnswers408) {
+  AdminServerOptions options;
+  options.request_deadline_seconds = 0.2;
+  AdminServer server(options);
+  server.Handle("/ping", [] { return AdminResponse{200, "text/plain", "pong"}; });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Send only a fragment, then just wait for the server's verdict.
+  const HttpReply reply = SendRawAndRead(server.Port(), "GET /ping HT");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 408);
+
+  const HttpReply after = Get(server.Port(), "/ping");
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.status, 200);
+  EXPECT_EQ(after.body, "pong");
+  server.Stop();
+}
+
 // Registrations after Start() are safe (the listener copies the handler
 // under the lock per request) and take effect immediately.
 TEST(AdminServer, LateHandlerRegistrationServesImmediately) {

@@ -410,6 +410,72 @@ TEST(EventLog, WritesOneJsonObjectPerLine) {
   EXPECT_EQ(lines, 2u);
 }
 
+// Stop() drains everything accepted before the call, fsyncs the owned
+// file, and is idempotent; Emits after Stop() drop (counted locally AND in
+// the registry's bitruss_eventlog_dropped_total mirror).
+TEST(EventLog, StopFlushesDrainsAndRefusesLateEmits) {
+  const std::string path = testing::TempDir() + "bitruss_eventlog_stop.jsonl";
+  EventLog log(path);
+  constexpr int kEvents = 50;
+  for (int i = 0; i < kEvents; ++i) log.Emit("publish", {{"i", i}});
+  log.Stop();
+  EXPECT_EQ(log.EmittedEvents(), static_cast<std::uint64_t>(kEvents));
+  EXPECT_EQ(log.DroppedEvents(), 0u);
+
+  // Every accepted event reached the file by the time Stop() returned.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::size_t lines = 0;
+  char buffer[512];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (buffer[j] == '\n') ++lines;
+    }
+  }
+  std::fclose(f);
+  EXPECT_EQ(lines, static_cast<std::size_t>(kEvents));
+
+  const std::uint64_t registry_dropped_before =
+      MetricsRegistry::Default()
+          .GetCounter("bitruss_eventlog_dropped_total")
+          ->Value();
+  log.Emit("publish", {{"late", 1}});
+  EXPECT_EQ(log.DroppedEvents(), 1u);
+  EXPECT_EQ(MetricsRegistry::Default()
+                .GetCounter("bitruss_eventlog_dropped_total")
+                ->Value(),
+            registry_dropped_before + 1);
+  log.Flush();  // no-op on a closed log, must not crash
+  log.Stop();   // idempotent
+  // The destructor runs Stop() a third time — also a no-op.
+}
+
+// The registry mirrors aggregate across instances: emits and drops land in
+// bitruss_eventlog_{emitted,dropped}_total as well as the local counters.
+TEST(EventLog, RegistryMirrorsCountEmitsAndDrops) {
+  auto& registry = MetricsRegistry::Default();
+  const std::uint64_t emitted_before =
+      registry.GetCounter("bitruss_eventlog_emitted_total")->Value();
+  const std::uint64_t dropped_before =
+      registry.GetCounter("bitruss_eventlog_dropped_total")->Value();
+  {
+    EventLog log(nullptr);  // drop-only mode
+    log.Emit("publish", {{"i", 1}});
+  }
+  {
+    const std::string path =
+        testing::TempDir() + "bitruss_eventlog_mirror.jsonl";
+    EventLog log(path);
+    log.Emit("publish", {{"i", 2}});
+    log.Flush();
+  }
+  EXPECT_EQ(registry.GetCounter("bitruss_eventlog_emitted_total")->Value(),
+            emitted_before + 1);
+  EXPECT_EQ(registry.GetCounter("bitruss_eventlog_dropped_total")->Value(),
+            dropped_before + 1);
+}
+
 TEST(EventLog, NullSinkDropsEverythingAndCounts) {
   EventLog log(nullptr);
   for (int i = 0; i < 5; ++i) log.Emit("publish", {{"i", i}});

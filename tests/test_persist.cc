@@ -1,0 +1,1113 @@
+// Tests for the durability subsystem (persist/wal.h, persist/snapshot_io.h,
+// util/fault_injection.h) and its serving-layer integration: WAL round
+// trips and rotation, torn-tail vs mid-log corruption semantics, snapshot
+// atomicity and fallback, the deterministic fault-injection harness, and
+// the crash matrix — a forked child is SIGKILLed at every fault point and
+// the parent's Recover() must produce phi bit-identical to a from-scratch
+// replay + Decompose() oracle over the durable prefix.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/decompose.h"
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/incremental_bitruss.h"
+#include "gen/random_bipartite.h"
+#include "graph/bipartite_graph.h"
+#include "obs/metrics.h"
+#include "persist/crc32c.h"
+#include "persist/snapshot_io.h"
+#include "persist/wal.h"
+#include "serve/bitruss_service.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+#include "util/status.h"
+
+// The crash matrix forks children that die by SIGKILL at fault points;
+// TSan's default aborts any fork in a threaded process, so opt into the
+// fork-then-die pattern (the children never run user threads past exec).
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+extern "C" const char* __tsan_default_options() { return "die_after_fork=0"; }
+#endif
+#endif
+
+namespace bitruss {
+namespace {
+
+using persist::Crc32c;
+using persist::FsyncPolicy;
+using persist::ListStampedFiles;
+using persist::LoadNewestSnapshot;
+using persist::RemoveOldSnapshots;
+using persist::ReplayWal;
+using persist::StampedPath;
+using persist::StateSnapshot;
+using persist::WalOptions;
+using persist::WalRecord;
+using persist::WalReplayStats;
+using persist::WalWriter;
+using persist::WriteSnapshotFile;
+using persist::kWalRecordBytes;
+using persist::kWalSegmentHeaderBytes;
+
+// ---------------------------------------------------------------------------
+// Filesystem helpers
+// ---------------------------------------------------------------------------
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/bitruss_persist_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr) << std::strerror(errno);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void RemoveTree(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+// Scoped temp dir: every test path (including ASSERT early exits) cleans up.
+struct TempDir {
+  TempDir() : path(MakeTempDir()) {}
+  ~TempDir() { RemoveTree(path); }
+  std::string path;
+};
+
+std::int64_t FileSize(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<std::int64_t>(st.st_size)
+                                        : -1;
+}
+
+void FlipByte(const std::string& path, std::int64_t offset) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0) << path << ": " << std::strerror(errno);
+  unsigned char byte = 0;
+  ASSERT_EQ(::pread(fd, &byte, 1, offset), 1);
+  byte ^= 0xFF;
+  ASSERT_EQ(::pwrite(fd, &byte, 1, offset), 1);
+  ::close(fd);
+}
+
+void TruncateFile(const std::string& path, std::int64_t size) {
+  ASSERT_EQ(::truncate(path.c_str(), size), 0)
+      << path << ": " << std::strerror(errno);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle helpers (same idiom as test_serve.cc)
+// ---------------------------------------------------------------------------
+
+// Deterministic mixed insert/delete stream, valid under FIFO application.
+std::vector<EdgeUpdate> MakeStream(const BipartiteGraph& seed, int updates,
+                                   std::uint64_t rng_seed) {
+  DynamicBipartiteGraph sim(seed);
+  Rng rng(rng_seed);
+  std::vector<std::pair<VertexId, VertexId>> live;  // side-local pairs
+  for (EdgeId slot = 0; slot < sim.NumSlots(); ++slot) {
+    if (sim.IsLive(slot)) {
+      live.emplace_back(sim.EdgeUpper(slot),
+                        sim.EdgeLower(slot) - sim.NumUpper());
+    }
+  }
+  std::vector<EdgeUpdate> ops;
+  ops.reserve(updates);
+  while (static_cast<int>(ops.size()) < updates) {
+    if (!live.empty() && rng.NextBool(0.5)) {
+      const std::size_t pick = rng.Below(live.size());
+      const auto [u, l] = live[pick];
+      EXPECT_TRUE(sim.DeleteEdge(sim.FindEdge(u, sim.NumUpper() + l)).ok());
+      ops.push_back({EdgeUpdate::Kind::kDelete, u, l});
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const auto u = static_cast<VertexId>(rng.Below(sim.NumUpper()));
+      const auto l = static_cast<VertexId>(rng.Below(sim.NumLower()));
+      if (!sim.InsertEdge(u, l).ok()) continue;  // already present; reroll
+      ops.push_back({EdgeUpdate::Kind::kInsert, u, l});
+      live.emplace_back(u, l);
+    }
+  }
+  return ops;
+}
+
+// Replays the first `count` ops onto a fresh dynamic graph (no compaction).
+DynamicBipartiteGraph ReplayPrefix(const BipartiteGraph& seed,
+                                   const std::vector<EdgeUpdate>& ops,
+                                   std::uint64_t count) {
+  DynamicBipartiteGraph replay(seed);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const EdgeUpdate& op = ops[i];
+    if (op.kind == EdgeUpdate::Kind::kInsert) {
+      EXPECT_TRUE(replay.InsertEdge(op.upper_local, op.lower_local).ok());
+    } else {
+      const EdgeId slot =
+          replay.FindEdge(op.upper_local, replay.NumUpper() + op.lower_local);
+      EXPECT_NE(slot, kInvalidEdge);
+      EXPECT_TRUE(replay.DeleteEdge(slot).ok());
+    }
+  }
+  return replay;
+}
+
+// The recovered service must hold exactly the state after the first
+// RecoveredBase() submitted ops — slot for slot, since neither the service
+// run nor the oracle replay compacts (free-slot stack order is durable).
+void ExpectRecoveredMatchesOracle(const BitrussService& service,
+                                  const BipartiteGraph& seed,
+                                  const std::vector<EdgeUpdate>& ops) {
+  const std::uint64_t base = service.RecoveredBase();
+  ASSERT_LE(base, ops.size());
+  const auto snap = service.Snapshot();
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->applied_updates, base);
+
+  DynamicBipartiteGraph replay = ReplayPrefix(seed, ops, base);
+  ASSERT_EQ(snap->num_slots, replay.NumSlots());
+  ASSERT_EQ(snap->num_edges, replay.NumEdges());
+  ASSERT_EQ(snap->num_butterflies, replay.NumButterflies());
+
+  const GraphSnapshot compacted = replay.Snapshot();
+  const BitrussResult oracle = Decompose(compacted.graph);
+  std::vector<SupportT> phi_by_slot(replay.NumSlots(), 0);
+  std::vector<SupportT> support_by_slot(replay.NumSlots(), 0);
+  for (EdgeId e = 0; e < compacted.graph.NumEdges(); ++e) {
+    phi_by_slot[compacted.slot_of_edge[e]] = oracle.phi[e];
+    support_by_slot[compacted.slot_of_edge[e]] = compacted.supports[e];
+  }
+  for (EdgeId slot = 0; slot < replay.NumSlots(); ++slot) {
+    ASSERT_EQ(snap->IsLive(slot), replay.IsLive(slot)) << "slot " << slot;
+    ASSERT_EQ(snap->Phi(slot), phi_by_slot[slot]) << "slot " << slot;
+    ASSERT_EQ(snap->SupportOf(slot), support_by_slot[slot]) << "slot " << slot;
+  }
+}
+
+// Slot-independent variant for runs with compaction: the phi multiset
+// (histogram) and aggregates must match even though slot ids may not.
+void ExpectRecoveredHistogramMatchesOracle(const BitrussService& service,
+                                           const BipartiteGraph& seed,
+                                           const std::vector<EdgeUpdate>& ops) {
+  const std::uint64_t base = service.RecoveredBase();
+  ASSERT_LE(base, ops.size());
+  const auto snap = service.Snapshot();
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->applied_updates, base);
+
+  DynamicBipartiteGraph replay = ReplayPrefix(seed, ops, base);
+  ASSERT_EQ(snap->num_edges, replay.NumEdges());
+  ASSERT_EQ(snap->num_butterflies, replay.NumButterflies());
+
+  const GraphSnapshot compacted = replay.Snapshot();
+  const BitrussResult oracle = Decompose(compacted.graph);
+  std::map<SupportT, std::uint64_t> expected;
+  for (EdgeId e = 0; e < compacted.graph.NumEdges(); ++e) {
+    ++expected[oracle.phi[e]];
+  }
+  const auto histogram = snap->PhiHistogram();
+  ASSERT_EQ(histogram.size(), expected.size());
+  for (const auto& [phi, count] : histogram) {
+    EXPECT_EQ(count, expected[phi]) << "phi " << phi;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A: CRC32C
+// ---------------------------------------------------------------------------
+
+TEST(Crc32c, MatchesKnownVectors) {
+  // RFC 3720 check value for "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  // iSCSI test vector: 32 bytes of zeros.
+  const unsigned char zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32c, SeedChainsIncrementalComputes) {
+  const std::uint32_t whole = Crc32c("123456789", 9);
+  const std::uint32_t chained = Crc32c("56789", 5, Crc32c("1234", 4));
+  EXPECT_EQ(chained, whole);
+}
+
+// ---------------------------------------------------------------------------
+// B: fault-injection harness semantics (no fork needed — direct Hit calls)
+// ---------------------------------------------------------------------------
+
+// Disarms everything on scope exit so a failing test cannot poison later
+// ones (fault state is process-global).
+struct FaultGuard {
+  ~FaultGuard() { fault::ResetAll(); }
+};
+
+TEST(FaultInjection, SkipFirstFiresOnExactHit) {
+  FaultGuard guard;
+  fault::Arm("test.point", {fault::FaultAction::kError, /*skip_first=*/2});
+  EXPECT_EQ(fault::Hit("test.point"), fault::FaultAction::kNone);
+  EXPECT_EQ(fault::Hit("test.point"), fault::FaultAction::kNone);
+  EXPECT_EQ(fault::Hit("test.point"), fault::FaultAction::kError);
+  // Not one_shot: keeps firing.
+  EXPECT_EQ(fault::Hit("test.point"), fault::FaultAction::kError);
+  EXPECT_EQ(fault::HitCount("test.point"), 4u);
+  // Unarmed points never fire and are not counted.
+  EXPECT_EQ(fault::Hit("test.other"), fault::FaultAction::kNone);
+  EXPECT_EQ(fault::HitCount("test.other"), 0u);
+}
+
+TEST(FaultInjection, OneShotFiresOnceButKeepsCounting) {
+  FaultGuard guard;
+  fault::ArmSpec spec;
+  spec.action = fault::FaultAction::kError;
+  spec.skip_first = 1;
+  spec.one_shot = true;
+  fault::Arm("test.point", spec);
+  EXPECT_EQ(fault::Hit("test.point"), fault::FaultAction::kNone);
+  EXPECT_EQ(fault::Hit("test.point"), fault::FaultAction::kError);
+  EXPECT_EQ(fault::Hit("test.point"), fault::FaultAction::kNone);
+  EXPECT_EQ(fault::HitCount("test.point"), 3u);
+}
+
+TEST(FaultInjection, TornKeepBytesIsDeterministicStrictPrefix) {
+  FaultGuard guard;
+  fault::ArmSpec spec;
+  spec.action = fault::FaultAction::kTornWrite;
+  spec.seed = 42;
+  fault::Arm("test.torn", spec);
+  EXPECT_EQ(fault::Hit("test.torn"), fault::FaultAction::kTornWrite);
+  const std::size_t keep = fault::TornKeepBytes("test.torn", 100);
+  EXPECT_LT(keep, 100u);  // strict prefix
+  // Stable between hits: same (seed, hit index) => same answer.
+  EXPECT_EQ(fault::TornKeepBytes("test.torn", 100), keep);
+  // Re-arming with the same seed resets the hit index => same derivation.
+  fault::Arm("test.torn", spec);
+  EXPECT_EQ(fault::Hit("test.torn"), fault::FaultAction::kTornWrite);
+  EXPECT_EQ(fault::TornKeepBytes("test.torn", 100), keep);
+}
+
+TEST(FaultInjection, InjectedStatusNamesEnospc) {
+  FaultGuard guard;
+  fault::Arm("test.full", {fault::FaultAction::kEnospc});
+  const Status st = fault::InjectedStatus("test.full");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ENOSPC"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("test.full"), std::string::npos) << st.message();
+  // Unarmed or reset points inject nothing.
+  EXPECT_TRUE(fault::InjectedStatus("test.unarmed").ok());
+  fault::ResetAll();
+  EXPECT_TRUE(fault::InjectedStatus("test.full").ok());
+  EXPECT_EQ(fault::HitCount("test.full"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// C: WAL append/replay round trip
+// ---------------------------------------------------------------------------
+
+WalRecord TestRecord(std::uint64_t seq) {
+  WalRecord record;
+  record.seq = seq;
+  record.kind = static_cast<std::uint8_t>(seq % 2);
+  record.upper_local = static_cast<std::uint32_t>(seq * 3 + 1);
+  record.lower_local = static_cast<std::uint32_t>(seq * 7 + 2);
+  return record;
+}
+
+TEST(Wal, AppendThenReplayRoundTrips) {
+  TempDir tmp;
+  WalOptions options;
+  options.fsync_policy = FsyncPolicy::kEveryRecord;
+  auto writer_or = WalWriter::Open(tmp.path, 1, options);
+  ASSERT_TRUE(writer_or.ok()) << writer_or.status().ToString();
+  auto writer = std::move(writer_or).value();
+
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    ASSERT_TRUE(writer->Append(TestRecord(seq)).ok()) << seq;
+  }
+  EXPECT_EQ(writer->NextSeq(), 11u);
+  EXPECT_EQ(writer->BytesAppended(), 10 * kWalRecordBytes);
+  EXPECT_GE(writer->Fsyncs(), 10u);  // every-record policy
+
+  // An out-of-order append is rejected WITHOUT latching the failed state.
+  EXPECT_EQ(writer->Append(TestRecord(13)).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(writer->Append(TestRecord(11)).ok());
+  writer.reset();
+
+  std::vector<WalRecord> seen;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayWal(tmp.path, 0,
+                        [&](const WalRecord& r) {
+                          seen.push_back(r);
+                          return OkStatus();
+                        },
+                        &stats)
+                  .ok());
+  ASSERT_EQ(seen.size(), 11u);
+  for (std::uint64_t i = 0; i < seen.size(); ++i) {
+    const WalRecord expected = TestRecord(i + 1);
+    EXPECT_EQ(seen[i].seq, expected.seq);
+    EXPECT_EQ(seen[i].kind, expected.kind);
+    EXPECT_EQ(seen[i].upper_local, expected.upper_local);
+    EXPECT_EQ(seen[i].lower_local, expected.lower_local);
+  }
+  EXPECT_EQ(stats.records_replayed, 11u);
+  EXPECT_EQ(stats.last_seq, 11u);
+  EXPECT_EQ(stats.torn_records_discarded, 0u);
+
+  // after_seq skips the validated prefix but still parses it (last_seq).
+  std::uint64_t tail = 0;
+  WalReplayStats tail_stats;
+  ASSERT_TRUE(ReplayWal(tmp.path, 7,
+                        [&](const WalRecord&) {
+                          ++tail;
+                          return OkStatus();
+                        },
+                        &tail_stats)
+                  .ok());
+  EXPECT_EQ(tail, 4u);
+  EXPECT_EQ(tail_stats.records_replayed, 4u);
+  EXPECT_EQ(tail_stats.last_seq, 11u);
+
+  // A non-OK callback aborts the replay with that status.
+  const Status aborted = ReplayWal(tmp.path, 0, [&](const WalRecord& r) {
+    return r.seq == 3 ? InternalError("stop here") : OkStatus();
+  });
+  EXPECT_EQ(aborted.code(), StatusCode::kInternal);
+
+  // An empty directory replays nothing.
+  TempDir empty;
+  WalReplayStats none;
+  ASSERT_TRUE(ReplayWal(empty.path, 0,
+                        [](const WalRecord&) { return OkStatus(); }, &none)
+                  .ok());
+  EXPECT_EQ(none.records_replayed, 0u);
+}
+
+TEST(Wal, OpenRefusesDirWithSegments) {
+  TempDir tmp;
+  {
+    auto writer_or = WalWriter::Open(tmp.path, 1, {});
+    ASSERT_TRUE(writer_or.ok());
+    ASSERT_TRUE(writer_or.value()->Append(TestRecord(1)).ok());
+  }
+  auto reopened = WalWriter::Open(tmp.path, 2, {});
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// D: segment rotation + truncation
+// ---------------------------------------------------------------------------
+
+TEST(Wal, RotatesSegmentsAndTruncatesBehindSnapshots) {
+  TempDir tmp;
+  WalOptions options;
+  options.fsync_policy = FsyncPolicy::kEveryRecord;
+  // header 20 + 4 records * 25 = 120; a 5th record would hit 145 > 128, so
+  // each segment holds exactly 4 records.
+  options.segment_bytes = 128;
+  auto writer_or = WalWriter::Open(tmp.path, 1, options);
+  ASSERT_TRUE(writer_or.ok());
+  auto writer = std::move(writer_or).value();
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    ASSERT_TRUE(writer->Append(TestRecord(seq)).ok()) << seq;
+  }
+  EXPECT_EQ(ListStampedFiles(tmp.path, "wal-", ".seg"),
+            (std::vector<std::uint64_t>{1, 5, 9}));
+
+  // Truncation removes only whole segments fully covered by the snapshot.
+  auto removed = writer->TruncateThrough(4);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 1);
+  EXPECT_EQ(ListStampedFiles(tmp.path, "wal-", ".seg"),
+            (std::vector<std::uint64_t>{5, 9}));
+  removed = writer->TruncateThrough(8);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 1);
+  // The active segment is never deleted, no matter the sequence.
+  removed = writer->TruncateThrough(100);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 0);
+  EXPECT_EQ(ListStampedFiles(tmp.path, "wal-", ".seg"),
+            (std::vector<std::uint64_t>{9}));
+  writer.reset();
+
+  // Replay from the covered point works; replay from before it must refuse
+  // (records 5..8 are gone — that is data loss, not silent re-serve).
+  std::uint64_t replayed = 0;
+  ASSERT_TRUE(ReplayWal(tmp.path, 8, [&](const WalRecord&) {
+                ++replayed;
+                return OkStatus();
+              }).ok());
+  EXPECT_EQ(replayed, 2u);
+  const Status gap = ReplayWal(
+      tmp.path, 4, [](const WalRecord&) { return OkStatus(); });
+  EXPECT_EQ(gap.code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// E: torn tails of the final segment — discarded (and repaired), never fatal
+// ---------------------------------------------------------------------------
+
+// Builds one segment of `records` sequential records and returns its path.
+std::string BuildSingleSegment(const std::string& dir, int records) {
+  WalOptions options;
+  options.fsync_policy = FsyncPolicy::kEveryRecord;
+  auto writer_or = WalWriter::Open(dir, 1, options);
+  EXPECT_TRUE(writer_or.ok());
+  auto writer = std::move(writer_or).value();
+  for (int seq = 1; seq <= records; ++seq) {
+    EXPECT_TRUE(writer->Append(TestRecord(seq)).ok());
+  }
+  return StampedPath(dir, "wal-", 1, ".seg");
+}
+
+struct TornTailCase {
+  const char* name;
+  // Mutation: truncate to `truncate_to` when >= 0, else flip `flip_offset`.
+  std::int64_t truncate_to;
+  std::int64_t flip_offset;
+  std::uint64_t want_replayed;
+  std::int64_t want_repaired_size;  // file size after repair (-1: unlinked)
+};
+
+TEST(Wal, TornFinalTailIsDiscardedAndRepaired) {
+  const std::int64_t header = kWalSegmentHeaderBytes;  // 20
+  const std::int64_t record = kWalRecordBytes;         // 25
+  const TornTailCase cases[] = {
+      // Mid-record cut in the last record: 4 survive, tail truncated away.
+      {"cut_mid_last_record", header + 4 * record + 7, -1, 4,
+       header + 4 * record},
+      // Cut inside the very first record: nothing survives but the file
+      // stays (its header is intact).
+      {"cut_mid_first_record", header + 3, -1, 0, header},
+      // Bit flip in the final record's payload: checksum fails, torn tail.
+      {"flip_last_record_payload", -1, header + 4 * record + 10, 4,
+       header + 4 * record},
+      // Cut inside the segment HEADER of the only segment: the whole file
+      // is unparsable and gets unlinked by repair.
+      {"cut_mid_header", header - 10, -1, 0, -1},
+  };
+  for (const TornTailCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    TempDir tmp;
+    const std::string segment = BuildSingleSegment(tmp.path, 5);
+    ASSERT_EQ(FileSize(segment), header + 5 * record);
+    if (c.truncate_to >= 0) {
+      TruncateFile(segment, c.truncate_to);
+    } else {
+      FlipByte(segment, c.flip_offset);
+    }
+
+    std::uint64_t replayed = 0;
+    WalReplayStats stats;
+    ASSERT_TRUE(ReplayWal(tmp.path, 0,
+                          [&](const WalRecord&) {
+                            ++replayed;
+                            return OkStatus();
+                          },
+                          &stats, /*repair_torn_tail=*/true)
+                    .ok());
+    EXPECT_EQ(replayed, c.want_replayed);
+    EXPECT_EQ(stats.records_replayed, c.want_replayed);
+    EXPECT_GE(stats.torn_records_discarded, 1u);
+    if (c.want_repaired_size < 0) {
+      EXPECT_TRUE(ListStampedFiles(tmp.path, "wal-", ".seg").empty());
+    } else {
+      EXPECT_EQ(FileSize(segment), c.want_repaired_size);
+      // After repair the log replays clean — no torn tail remains.
+      WalReplayStats again;
+      ASSERT_TRUE(ReplayWal(tmp.path, 0,
+                            [](const WalRecord&) { return OkStatus(); },
+                            &again)
+                      .ok());
+      EXPECT_EQ(again.records_replayed, c.want_replayed);
+      EXPECT_EQ(again.torn_records_discarded, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// F: the same damage in the MIDDLE of the log is kDataLoss, never repaired
+// ---------------------------------------------------------------------------
+
+TEST(Wal, MidLogCorruptionIsDataLoss) {
+  const auto build_three_segments = [](const std::string& dir) {
+    WalOptions options;
+    options.fsync_policy = FsyncPolicy::kEveryRecord;
+    options.segment_bytes = 128;  // 4 records/segment
+    auto writer_or = WalWriter::Open(dir, 1, options);
+    ASSERT_TRUE(writer_or.ok());
+    auto writer = std::move(writer_or).value();
+    for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+      ASSERT_TRUE(writer->Append(TestRecord(seq)).ok());
+    }
+  };
+  const auto replay = [](const std::string& dir) {
+    return ReplayWal(dir, 0, [](const WalRecord&) { return OkStatus(); },
+                     nullptr, /*repair_torn_tail=*/true);
+  };
+
+  {
+    TempDir tmp;
+    build_three_segments(tmp.path);
+    // Corrupt a record in the FIRST (non-final) segment.
+    FlipByte(StampedPath(tmp.path, "wal-", 1, ".seg"),
+             kWalSegmentHeaderBytes + 10);
+    EXPECT_EQ(replay(tmp.path).code(), StatusCode::kDataLoss);
+  }
+  {
+    TempDir tmp;
+    build_three_segments(tmp.path);
+    // Remove the middle segment entirely: sequence gap 4 -> 9.
+    ASSERT_EQ(::unlink(StampedPath(tmp.path, "wal-", 5, ".seg").c_str()), 0);
+    EXPECT_EQ(replay(tmp.path).code(), StatusCode::kDataLoss);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// G: snapshot file I/O
+// ---------------------------------------------------------------------------
+
+StateSnapshot TestState(std::uint64_t applied) {
+  StateSnapshot snapshot;
+  snapshot.applied = applied;
+  snapshot.num_upper = 3;
+  snapshot.num_lower = 4;
+  snapshot.num_butterflies = 17;
+  snapshot.upper = {0, 1, 2, 0xFFFFFFFFu, 2};
+  snapshot.lower = {3, 4, 5, 0xFFFFFFFFu, 6};
+  snapshot.support = {2, 1, 3, 0, 1};
+  snapshot.phi = {2, 1, 2, 0, 1};
+  snapshot.free_slots = {3};  // stack order matters and must round-trip
+  return snapshot;
+}
+
+TEST(SnapshotIo, RoundTripsAllFields) {
+  TempDir tmp;
+  const StateSnapshot want = TestState(42);
+  ASSERT_TRUE(WriteSnapshotFile(tmp.path, want).ok());
+
+  int corrupt_skipped = -1;
+  auto loaded_or = LoadNewestSnapshot(tmp.path, &corrupt_skipped);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const StateSnapshot& got = loaded_or.value();
+  EXPECT_EQ(corrupt_skipped, 0);
+  EXPECT_EQ(got.applied, want.applied);
+  EXPECT_EQ(got.num_upper, want.num_upper);
+  EXPECT_EQ(got.num_lower, want.num_lower);
+  EXPECT_EQ(got.num_butterflies, want.num_butterflies);
+  EXPECT_EQ(got.upper, want.upper);
+  EXPECT_EQ(got.lower, want.lower);
+  EXPECT_EQ(got.support, want.support);
+  EXPECT_EQ(got.phi, want.phi);
+  EXPECT_EQ(got.free_slots, want.free_slots);
+}
+
+TEST(SnapshotIo, FallsBackPastCorruptSnapshots) {
+  TempDir tmp;
+  ASSERT_TRUE(WriteSnapshotFile(tmp.path, TestState(5)).ok());
+  ASSERT_TRUE(WriteSnapshotFile(tmp.path, TestState(9)).ok());
+
+  // Damage the NEWEST file's payload: the loader must fall back to 5.
+  FlipByte(StampedPath(tmp.path, "snapshot-", 9, ".snap"), 30);
+  int corrupt_skipped = 0;
+  auto loaded_or = LoadNewestSnapshot(tmp.path, &corrupt_skipped);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  EXPECT_EQ(loaded_or.value().applied, 5u);
+  EXPECT_EQ(corrupt_skipped, 1);
+
+  // Both damaged: nothing intact remains.
+  FlipByte(StampedPath(tmp.path, "snapshot-", 5, ".snap"), 30);
+  EXPECT_EQ(LoadNewestSnapshot(tmp.path).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotIo, EmptyDirIsNotFoundAndPruneKeepsNewest) {
+  TempDir tmp;
+  EXPECT_EQ(LoadNewestSnapshot(tmp.path).status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(WriteSnapshotFile(tmp.path, TestState(1)).ok());
+  ASSERT_TRUE(WriteSnapshotFile(tmp.path, TestState(2)).ok());
+  ASSERT_TRUE(WriteSnapshotFile(tmp.path, TestState(3)).ok());
+  EXPECT_EQ(RemoveOldSnapshots(tmp.path, 1), 2);
+  EXPECT_EQ(ListStampedFiles(tmp.path, "snapshot-", ".snap"),
+            (std::vector<std::uint64_t>{3}));
+  auto loaded_or = LoadNewestSnapshot(tmp.path);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ(loaded_or.value().applied, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// H: dynamic-graph state export/restore (the payload the snapshot carries)
+// ---------------------------------------------------------------------------
+
+TEST(DynamicGraphState, ExportRestoreContinuesIdentically) {
+  const BipartiteGraph seed = GenerateUniformBipartite(10, 8, 30, 11);
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, 20, 77);
+
+  DynamicBipartiteGraph original = ReplayPrefix(seed, ops, 12);
+  auto restored_or = DynamicBipartiteGraph::FromState(original.ExportState());
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  DynamicBipartiteGraph restored = std::move(restored_or).value();
+
+  ASSERT_EQ(restored.NumSlots(), original.NumSlots());
+  ASSERT_EQ(restored.NumEdges(), original.NumEdges());
+  ASSERT_EQ(restored.NumButterflies(), original.NumButterflies());
+
+  // Continuing the SAME op stream must assign the same slots (free-slot
+  // stack order survived the round trip).
+  for (std::uint64_t i = 12; i < ops.size(); ++i) {
+    const EdgeUpdate& op = ops[i];
+    if (op.kind == EdgeUpdate::Kind::kInsert) {
+      auto a = original.InsertEdge(op.upper_local, op.lower_local);
+      auto b = restored.InsertEdge(op.upper_local, op.lower_local);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a.value(), b.value()) << "insert " << i;
+    } else {
+      const EdgeId slot = original.FindEdge(
+          op.upper_local, original.NumUpper() + op.lower_local);
+      ASSERT_EQ(restored.FindEdge(op.upper_local,
+                                  restored.NumUpper() + op.lower_local),
+                slot);
+      ASSERT_TRUE(original.DeleteEdge(slot).ok());
+      ASSERT_TRUE(restored.DeleteEdge(slot).ok());
+    }
+  }
+  for (EdgeId slot = 0; slot < original.NumSlots(); ++slot) {
+    ASSERT_EQ(restored.IsLive(slot), original.IsLive(slot)) << slot;
+    if (original.IsLive(slot)) {
+      EXPECT_EQ(restored.EdgeUpper(slot), original.EdgeUpper(slot)) << slot;
+      EXPECT_EQ(restored.EdgeLower(slot), original.EdgeLower(slot)) << slot;
+    }
+  }
+}
+
+TEST(DynamicGraphState, FromStateRejectsCorruptImages) {
+  const BipartiteGraph seed = GenerateUniformBipartite(6, 5, 12, 3);
+  DynamicBipartiteGraph graph(seed);
+  const DynamicGraphState good = graph.ExportState();
+
+  {
+    DynamicGraphState bad = good;
+    bad.lower.pop_back();  // parallel arrays disagree
+    EXPECT_EQ(DynamicBipartiteGraph::FromState(bad).status().code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    DynamicGraphState bad = good;
+    bad.upper[0] = bad.num_upper + bad.num_lower + 5;  // endpoint range
+    EXPECT_EQ(DynamicBipartiteGraph::FromState(bad).status().code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    DynamicGraphState bad = good;
+    bad.upper[1] = bad.upper[0];  // duplicate edge
+    bad.lower[1] = bad.lower[0];
+    EXPECT_EQ(DynamicBipartiteGraph::FromState(bad).status().code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    DynamicGraphState bad = good;
+    bad.free_slots.push_back(0);  // claims a live slot is free
+    EXPECT_EQ(DynamicBipartiteGraph::FromState(bad).status().code(),
+              StatusCode::kDataLoss);
+  }
+}
+
+TEST(IncrementalBitruss, RestoreCtorValidatesPhiSize) {
+  const BipartiteGraph seed = GenerateUniformBipartite(6, 5, 12, 3);
+  DynamicBipartiteGraph graph(seed);
+  std::vector<SupportT> wrong(graph.NumSlots() + 1, 0);
+  EXPECT_THROW(IncrementalBitruss(std::move(graph), std::move(wrong)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// J: service durability lifecycle (no faults)
+// ---------------------------------------------------------------------------
+
+BitrussServiceOptions DurableOptions(const std::string& dir) {
+  BitrussServiceOptions options;
+  options.persist.dir = dir;
+  options.persist.fsync_policy = FsyncPolicy::kEveryRecord;
+  options.persist.segment_bytes = 256;
+  options.persist.snapshot_every_updates = 8;
+  options.publish_every_updates = 4;
+  return options;
+}
+
+// Recover() with the options the lifecycle tests use.
+StatusOr<std::unique_ptr<BitrussService>> RecoverService(
+    const BipartiteGraph& seed, const std::string& dir, RecoveryStats* stats) {
+  BitrussServiceOptions options;
+  options.persist.dir = dir;
+  options.persist.fsync_policy = FsyncPolicy::kEveryPublish;
+  return BitrussService::Recover(seed, options, stats);
+}
+
+TEST(BitrussServicePersist, CleanShutdownRecoversExactly) {
+  TempDir tmp;
+  const BipartiteGraph seed = GenerateUniformBipartite(12, 10, 40, 5);
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, 30, 99);
+  {
+    BitrussService service(seed, DurableOptions(tmp.path));
+    for (const EdgeUpdate& op : ops) ASSERT_TRUE(service.Submit(op).ok());
+    ASSERT_TRUE(service.Drain().ok());
+    EXPECT_FALSE(service.Degraded());
+    service.Shutdown(/*drain=*/true);
+  }
+
+  RecoveryStats stats;
+  auto recovered_or = RecoverService(seed, tmp.path, &stats);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  auto& service = *recovered_or.value();
+  // Drain-shutdown wrote a covering snapshot, so nothing replays.
+  EXPECT_EQ(stats.snapshot_applied, 30u);
+  EXPECT_EQ(stats.wal_replayed, 0u);
+  EXPECT_FALSE(stats.from_seed);
+  EXPECT_EQ(service.RecoveredBase(), 30u);
+  EXPECT_FALSE(service.Degraded());
+  ExpectRecoveredMatchesOracle(service, seed, ops);
+
+  // The recovered service accepts and persists new work.
+  const std::vector<EdgeUpdate> more = MakeStream(seed, 35, 99);
+  for (std::size_t i = 30; i < more.size(); ++i) {
+    ASSERT_TRUE(service.Submit(more[i]).ok());
+  }
+  ASSERT_TRUE(service.Drain().ok());
+  EXPECT_EQ(service.Snapshot()->applied_updates, 35u);
+  service.Shutdown(true);
+}
+
+TEST(BitrussServicePersist, FreshCtorRefusesDirtyDir) {
+  TempDir tmp;
+  const BipartiteGraph seed(2, 2, {{0, 0}, {1, 1}});
+  { BitrussService service(seed, DurableOptions(tmp.path)); }
+  // Prior durable state must go through Recover(), never be clobbered.
+  EXPECT_THROW(BitrussService(seed, DurableOptions(tmp.path)),
+               std::invalid_argument);
+}
+
+TEST(BitrussServicePersist, NoDrainShutdownRecoversAckedTail) {
+  TempDir tmp;
+  const BipartiteGraph seed = GenerateUniformBipartite(12, 10, 40, 5);
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, 10, 31);
+  {
+    BitrussServiceOptions options = DurableOptions(tmp.path);
+    options.persist.snapshot_every_updates = 0;  // WAL only
+    BitrussService service(seed, options);
+    // Park the writer: every op is ACKED (WAL-logged) but none applied.
+    service.Pause();
+    for (const EdgeUpdate& op : ops) ASSERT_TRUE(service.Submit(op).ok());
+    service.Shutdown(/*drain=*/false);  // discard the queue, keep the log
+  }
+
+  RecoveryStats stats;
+  auto recovered_or = RecoverService(seed, tmp.path, &stats);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  // Everything acknowledged must come back — from the WAL alone.
+  EXPECT_EQ(stats.snapshot_applied, 0u);
+  EXPECT_EQ(stats.wal_replayed, 10u);
+  EXPECT_EQ(recovered_or.value()->RecoveredBase(), 10u);
+  ExpectRecoveredMatchesOracle(*recovered_or.value(), seed, ops);
+  recovered_or.value()->Shutdown(true);
+}
+
+TEST(BitrussServicePersist, RecoveryCountersAdvance) {
+  TempDir tmp;
+  const BipartiteGraph seed = GenerateUniformBipartite(8, 6, 20, 7);
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, 6, 13);
+  {
+    BitrussServiceOptions options = DurableOptions(tmp.path);
+    options.persist.snapshot_every_updates = 0;
+    BitrussService service(seed, options);
+    service.Pause();
+    for (const EdgeUpdate& op : ops) ASSERT_TRUE(service.Submit(op).ok());
+    service.Shutdown(false);
+  }
+  auto& registry = obs::MetricsRegistry::Default();
+  const std::uint64_t replayed_before =
+      registry.GetCounter("bitruss_recovery_replayed_total")->Value();
+  auto recovered_or = RecoverService(seed, tmp.path, nullptr);
+  ASSERT_TRUE(recovered_or.ok());
+  EXPECT_EQ(
+      registry.GetCounter("bitruss_recovery_replayed_total")->Value(),
+      replayed_before + 6);
+  recovered_or.value()->Shutdown(true);
+}
+
+TEST(BitrussServicePersist, CorruptedMiddleOfWalFailsRecovery) {
+  TempDir tmp;
+  // Hand-build a WAL with two sealed segments and no snapshot, then damage
+  // the FIRST segment: acknowledged records are gone, Recover must refuse.
+  WalOptions options;
+  options.fsync_policy = FsyncPolicy::kEveryRecord;
+  options.segment_bytes = 128;
+  {
+    auto writer_or = WalWriter::Open(tmp.path, 1, options);
+    ASSERT_TRUE(writer_or.ok());
+    auto writer = std::move(writer_or).value();
+    const BipartiteGraph seed = GenerateUniformBipartite(12, 10, 0, 5);
+    const std::vector<EdgeUpdate> ops = MakeStream(seed, 10, 41);
+    for (std::uint64_t i = 0; i < ops.size(); ++i) {
+      ASSERT_TRUE(writer->Append(
+          {i + 1, static_cast<std::uint8_t>(ops[i].kind), ops[i].upper_local,
+           ops[i].lower_local}).ok());
+    }
+  }
+  FlipByte(StampedPath(tmp.path, "wal-", 1, ".seg"),
+           kWalSegmentHeaderBytes + 12);
+
+  const BipartiteGraph seed = GenerateUniformBipartite(12, 10, 0, 5);
+  auto recovered_or = RecoverService(seed, tmp.path, nullptr);
+  EXPECT_EQ(recovered_or.status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// K: the crash matrix — fork a child, kill it AT every fault point, recover
+// ---------------------------------------------------------------------------
+
+#if defined(BITRUSS_FAULT_INJECTION_ENABLED)
+
+struct CrashCase {
+  const char* point;
+  fault::FaultAction action;
+  std::uint64_t skip_first;
+  std::uint64_t compact_every = 0;  // child-side compaction cadence
+};
+
+// Child body: arm the fault, run a durable service over the deterministic
+// stream, and report by exit status.  Everything uses _exit (no gtest, no
+// atexit) — the child is expected to die by SIGKILL at the armed point.
+[[noreturn]] void RunCrashChild(const CrashCase& c, const std::string& dir,
+                                const BipartiteGraph& seed,
+                                const std::vector<EdgeUpdate>& ops) {
+  fault::ArmSpec spec;
+  spec.action = c.action;
+  spec.skip_first = c.skip_first;
+  spec.seed = 7;
+  fault::Arm(c.point, spec);
+
+  BitrussServiceOptions options;
+  options.persist.dir = dir;
+  options.persist.fsync_policy = FsyncPolicy::kEveryRecord;
+  options.persist.segment_bytes = 128;  // rotate every 4 records
+  options.persist.snapshot_every_updates = 4;
+  options.publish_every_updates = 2;
+  options.compact_every_updates = c.compact_every;
+  try {
+    BitrussService service(seed, options);
+    for (const EdgeUpdate& op : ops) {
+      if (!service.Submit(op).ok()) _exit(3);
+    }
+    (void)service.Drain();
+    service.Shutdown(true);
+  } catch (...) {
+    _exit(4);
+  }
+  _exit(0);  // the armed fault never fired — the parent fails on this
+}
+
+TEST(BitrussServiceCrash, RecoversBitExactAfterKillAtEveryFaultPoint) {
+  const CrashCase cases[] = {
+      {"wal.open", fault::FaultAction::kKill, 0},
+      {"wal.append", fault::FaultAction::kKill, 6},
+      {"wal.append", fault::FaultAction::kTornWrite, 6},
+      {"wal.pre_fsync", fault::FaultAction::kKill, 6},
+      {"wal.post_fsync", fault::FaultAction::kKill, 6},
+      {"wal.rotate", fault::FaultAction::kKill, 1},
+      {"wal.truncate", fault::FaultAction::kKill, 1},
+      {"snapshot.tmp_write", fault::FaultAction::kKill, 1},
+      {"snapshot.tmp_write", fault::FaultAction::kTornWrite, 1},
+      {"snapshot.pre_rename", fault::FaultAction::kKill, 1},
+      {"snapshot.post_rename", fault::FaultAction::kKill, 1},
+      // With compaction, slot ids diverge from a straight replay; the
+      // recovered phi HISTOGRAM must still match the oracle.
+      {"snapshot.tmp_write", fault::FaultAction::kKill, 2,
+       /*compact_every=*/6},
+  };
+  const BipartiteGraph seed = GenerateUniformBipartite(12, 10, 40, 5);
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, 24, 99);
+
+  for (const CrashCase& c : cases) {
+    SCOPED_TRACE(std::string(c.point) + "/" +
+                 std::to_string(static_cast<int>(c.action)) + "/skip" +
+                 std::to_string(c.skip_first));
+    TempDir tmp;
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << std::strerror(errno);
+    if (pid == 0) RunCrashChild(c, tmp.path, seed, ops);
+
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    // The child must have died AT the fault point, not exited.
+    ASSERT_TRUE(WIFSIGNALED(wstatus))
+        << "child exited with " << WEXITSTATUS(wstatus)
+        << " instead of crashing";
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+    BitrussServiceOptions options;
+    options.persist.dir = tmp.path;
+    options.persist.fsync_policy = FsyncPolicy::kEveryPublish;
+    RecoveryStats stats;
+    auto recovered_or = BitrussService::Recover(seed, options, &stats);
+    ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+    auto& service = *recovered_or.value();
+    EXPECT_FALSE(service.Degraded()) << service.DegradedReason();
+    // Only durable (hence acknowledged) updates may be recovered, and all
+    // of them must be.
+    ASSERT_LE(service.RecoveredBase(), ops.size());
+    if (c.compact_every == 0) {
+      ExpectRecoveredMatchesOracle(service, seed, ops);
+    } else {
+      ExpectRecoveredHistogramMatchesOracle(service, seed, ops);
+    }
+    service.Shutdown(true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L: injected write errors degrade to read-only — in-process, no fork
+// ---------------------------------------------------------------------------
+
+TEST(BitrussServiceDegrade, WalOpenErrorFailsFreshConstruction) {
+  FaultGuard guard;
+  TempDir tmp;
+  fault::Arm("wal.open", {fault::FaultAction::kError});
+  const BipartiteGraph seed(2, 2, {{0, 0}, {1, 1}});
+  EXPECT_THROW(BitrussService(seed, DurableOptions(tmp.path)),
+               std::runtime_error);
+}
+
+struct DegradeCase {
+  const char* point;
+  fault::FaultAction action;
+  std::uint64_t skip_first;
+  std::uint64_t segment_bytes = 4ull << 20;
+};
+
+TEST(BitrussServiceDegrade, PersistFailuresLatchReadOnlyMode) {
+  const DegradeCase cases[] = {
+      {"wal.append", fault::FaultAction::kEnospc, 2},
+      {"wal.pre_fsync", fault::FaultAction::kError, 2},
+      {"wal.post_fsync", fault::FaultAction::kError, 2},
+      {"wal.rotate", fault::FaultAction::kError, 0, /*segment_bytes=*/128},
+      {"wal.truncate", fault::FaultAction::kError, 0},
+      {"snapshot.tmp_write", fault::FaultAction::kEnospc, 0},
+      {"snapshot.pre_rename", fault::FaultAction::kError, 0},
+      {"snapshot.post_rename", fault::FaultAction::kError, 0},
+  };
+  const BipartiteGraph seed = GenerateUniformBipartite(12, 10, 40, 5);
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, 24, 99);
+
+  for (const DegradeCase& c : cases) {
+    SCOPED_TRACE(c.point);
+    FaultGuard guard;
+    TempDir tmp;
+    BitrussServiceOptions options;
+    options.persist.dir = tmp.path;
+    options.persist.fsync_policy = FsyncPolicy::kEveryRecord;
+    options.persist.segment_bytes = c.segment_bytes;
+    options.persist.snapshot_every_updates = 4;
+    options.publish_every_updates = 2;
+    BitrussService service(seed, options);
+    const auto before = service.Snapshot();
+
+    // Arm AFTER construction: skip counts start at the first serving hit.
+    fault::ArmSpec spec;
+    spec.action = c.action;
+    spec.skip_first = c.skip_first;
+    fault::Arm(c.point, spec);
+
+    // Feed updates until the fault lands; Submit-path faults surface as an
+    // immediate non-OK, writer-thread faults need the poll below.
+    for (const EdgeUpdate& op : ops) {
+      if (!service.Submit(op).ok()) break;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!service.Degraded() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(service.Degraded());
+
+    // Degraded is a READ-ONLY mode: reads keep serving, writes refuse with
+    // the reason, health reports it.
+    const std::string reason = service.DegradedReason();
+    EXPECT_FALSE(reason.empty());
+    if (c.action == fault::FaultAction::kEnospc) {
+      EXPECT_NE(reason.find("ENOSPC"), std::string::npos) << reason;
+    }
+    EXPECT_NE(service.HealthJson().find("\"status\":\"degraded\""),
+              std::string::npos)
+        << service.HealthJson();
+    EXPECT_NE(service.Snapshot(), nullptr);
+    EXPECT_GE(service.Snapshot()->version, before->version);
+    (void)service.PhiHistogram();  // must not crash or block
+    const Status refused = service.SubmitInsert(0, 0);
+    EXPECT_EQ(refused.code(), StatusCode::kUnavailable) << refused.ToString();
+    service.Shutdown(true);  // clean shutdown out of degraded mode
+  }
+}
+
+TEST(BitrussServiceDegrade, RecoverStartsDegradedWhenRearmFails) {
+  FaultGuard guard;
+  TempDir tmp;
+  const BipartiteGraph seed = GenerateUniformBipartite(8, 6, 20, 7);
+  const std::vector<EdgeUpdate> ops = MakeStream(seed, 6, 13);
+  {
+    BitrussService service(seed, DurableOptions(tmp.path));
+    for (const EdgeUpdate& op : ops) ASSERT_TRUE(service.Submit(op).ok());
+    service.Shutdown(true);
+  }
+  // Recovery succeeds at reading state but cannot write its covering
+  // snapshot: the service must still come up, read-only.
+  fault::Arm("snapshot.tmp_write", {fault::FaultAction::kError});
+  auto recovered_or = RecoverService(seed, tmp.path, nullptr);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  auto& service = *recovered_or.value();
+  EXPECT_TRUE(service.Degraded());
+  EXPECT_EQ(service.RecoveredBase(), 6u);
+  ExpectRecoveredMatchesOracle(service, seed, ops);
+  EXPECT_EQ(service.SubmitInsert(0, 0).code(), StatusCode::kUnavailable);
+  service.Shutdown(true);
+}
+
+#else  // !BITRUSS_FAULT_INJECTION_ENABLED
+
+TEST(BitrussServiceCrash, SkippedWithoutFaultInjection) {
+  GTEST_SKIP() << "built with BITRUSS_FAULT_INJECTION=OFF";
+}
+
+#endif  // BITRUSS_FAULT_INJECTION_ENABLED
+
+}  // namespace
+}  // namespace bitruss

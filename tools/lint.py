@@ -26,6 +26,10 @@ Rules (each failure prints file:line and a one-line explanation):
   5. bench-meta  repo-root BENCH_*.json baselines must parse and carry a
      non-placeholder meta.git_sha and meta.timestamp, so perf baselines
      stay attributable to a commit.
+  6. fault-point-coverage  every fault point declared in src/ via
+     BITRUSS_FAULT_POINT("name") / BITRUSS_FAULT_POINT_STATUS("name") must
+     be referenced by name somewhere under tests/ — no fault point may
+     exist without crash/degradation coverage.
 
 Exit status: 0 clean, 1 any violation (CI fails the build on it).
 """
@@ -61,6 +65,7 @@ NAKED_STATUS_RE = re.compile(
     r"^\s*[\w.\->]*\b(" + "|".join(STATUS_APIS) + r")\s*\("
 )
 GUARD_RE = re.compile(r"^#ifndef\s+(\w+)\s*$", re.MULTILINE)
+FAULT_POINT_RE = re.compile(r'BITRUSS_FAULT_POINT(?:_STATUS)?\("([^"]+)"\)')
 
 SOURCE_DIRS = ("src", "bench", "tests", "cmake")
 SOURCE_SUFFIXES = (".h", ".cc")
@@ -172,6 +177,35 @@ def check_bench_meta(root, errors):
                 )
 
 
+def check_fault_point_coverage(root, errors):
+    declared = {}  # name -> first declaring file:line
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for name in FAULT_POINT_RE.findall(line):
+                declared.setdefault(
+                    name, f"{path.relative_to(root)}:{lineno}"
+                )
+    if not declared:
+        return
+    tests_dir = root / "tests"
+    covered = set()
+    if tests_dir.is_dir():
+        for path in sorted(tests_dir.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            text = path.read_text()
+            for name in declared:
+                if f'"{name}"' in text:
+                    covered.add(name)
+    for name in sorted(set(declared) - covered):
+        errors.append(
+            f"{declared[name]}: fault point \"{name}\" is never referenced "
+            "under tests/ — every point needs crash/degradation coverage"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -189,6 +223,7 @@ def main():
     check_nodiscard_status(root, errors)
     check_include_guards(root, errors)
     check_bench_meta(root, errors)
+    check_fault_point_coverage(root, errors)
 
     if errors:
         for error in errors:
